@@ -1,0 +1,1 @@
+bench/datasets.ml: Lazy List Xks_core Xks_datagen

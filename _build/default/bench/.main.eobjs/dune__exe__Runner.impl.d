@@ -1,0 +1,1 @@
+bench/runner.ml: Datasets Int64 Lazy List Monotonic_clock Printf Xks_core Xks_datagen Xks_metrics

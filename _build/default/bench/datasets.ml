@@ -1,0 +1,68 @@
+(* Benchmark datasets: one DBLP-shaped corpus and three XMark-shaped
+   corpora at the paper's 1:3:6 size ratio, generated deterministically
+   and indexed once. *)
+
+module Engine = Xks_core.Engine
+
+type t = {
+  name : string;
+  engine : Engine.t Lazy.t;
+  workload : Xks_datagen.Queries.workload;
+}
+
+let dblp_entries = ref 12000
+let xmark_items = ref 200
+
+let make_dblp () =
+  let config =
+    { Xks_datagen.Dblp_gen.default_config with entries = !dblp_entries }
+  in
+  Engine.of_doc (Xks_datagen.Dblp_gen.generate ~config ())
+
+let make_xmark size =
+  let config =
+    { Xks_datagen.Xmark_gen.default_config with items = !xmark_items }
+  in
+  Engine.of_doc (Xks_datagen.Xmark_gen.generate ~config size)
+
+let make_all () =
+  [
+    {
+      name = "dblp";
+      engine = lazy (make_dblp ());
+      workload = Xks_datagen.Queries.dblp;
+    };
+    {
+      name = "xmark-std";
+      engine = lazy (make_xmark Xks_datagen.Xmark_gen.Standard);
+      workload = Xks_datagen.Queries.xmark;
+    };
+    {
+      name = "xmark1";
+      engine = lazy (make_xmark Xks_datagen.Xmark_gen.Data1);
+      workload = Xks_datagen.Queries.xmark;
+    };
+    {
+      name = "xmark2";
+      engine = lazy (make_xmark Xks_datagen.Xmark_gen.Data2);
+      workload = Xks_datagen.Queries.xmark;
+    };
+  ]
+
+(* Engines are expensive to build; share one lazy instance per dataset
+   across every command of a single invocation.  (Scale knobs must be set
+   before the first [all]/[find].) *)
+let cache = ref None
+
+let all () =
+  match !cache with
+  | Some datasets -> datasets
+  | None ->
+      let datasets = make_all () in
+      cache := Some datasets;
+      datasets
+
+let find name =
+  match List.find_opt (fun d -> d.name = name) (all ()) with
+  | Some d -> d
+  | None -> failwith ("unknown dataset " ^ name)

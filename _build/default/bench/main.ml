@@ -1,0 +1,422 @@
+(* Benchmark harness: regenerates every evaluation artifact of the paper
+   (Figures 5 and 6, four datasets each), runs the A1-A3 ablations of
+   DESIGN.md, and exposes a Bechamel micro-benchmark suite (one
+   Test.make per figure panel).
+
+     dune exec bench/main.exe                 # everything, small scale
+     dune exec bench/main.exe -- fig5 --dataset dblp
+     dune exec bench/main.exe -- fig6 --dataset xmark2
+     dune exec bench/main.exe -- ablation-cid
+     dune exec bench/main.exe -- bechamel
+*)
+
+open Cmdliner
+
+module Engine = Xks_core.Engine
+module Query = Xks_core.Query
+module Metrics = Xks_metrics.Metrics
+
+(* --- Figure 5: performance + number of RTFs --- *)
+
+let print_fig5 dataset rows =
+  Printf.printf
+    "\n## Figure 5 (%s): elapsed time per query and number of RTFs\n"
+    dataset;
+  Printf.printf "%-8s %12s %12s %8s\n" "query" "MaxMatch(ms)" "ValidRTF(ms)"
+    "RTFs";
+  List.iter
+    (fun (r : Runner.row) ->
+      Printf.printf "%-8s %12.3f %12.3f %8d\n" r.mnemonic r.maxmatch_ms
+        r.validrtf_ms r.rtf_count)
+    rows
+
+(* --- Figure 6: CFR / APR' / Max APR --- *)
+
+let print_fig6 dataset rows =
+  Printf.printf "\n## Figure 6 (%s): CFR, APR' and Max APR per query\n" dataset;
+  Printf.printf "%-8s %8s %8s %8s\n" "query" "CFR" "APR'" "MaxAPR";
+  List.iter
+    (fun (r : Runner.row) ->
+      Printf.printf "%-8s %8.3f %8.3f %8.3f\n" r.mnemonic r.metrics.Metrics.cfr
+        r.metrics.Metrics.apr' r.metrics.Metrics.max_apr)
+    rows
+
+(* Optional CSV export directory (set by --out). *)
+let csv_dir = ref None
+
+let write_csv name header rows_to_strings =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (String.concat "," header);
+          output_char oc '\n';
+          List.iter
+            (fun row ->
+              output_string oc (String.concat "," row);
+              output_char oc '\n')
+            rows_to_strings);
+      Printf.printf "# wrote %s\n" path
+
+let csv_fig5 dataset rows =
+  write_csv ("fig5-" ^ dataset)
+    [ "query"; "maxmatch_ms"; "validrtf_ms"; "rtfs" ]
+    (List.map
+       (fun (r : Runner.row) ->
+         [
+           r.mnemonic; Printf.sprintf "%.4f" r.maxmatch_ms;
+           Printf.sprintf "%.4f" r.validrtf_ms; string_of_int r.rtf_count;
+         ])
+       rows)
+
+let csv_fig6 dataset rows =
+  write_csv ("fig6-" ^ dataset)
+    [ "query"; "cfr"; "apr_prime"; "max_apr" ]
+    (List.map
+       (fun (r : Runner.row) ->
+         [
+           r.mnemonic; Printf.sprintf "%.4f" r.metrics.Metrics.cfr;
+           Printf.sprintf "%.4f" r.metrics.Metrics.apr';
+           Printf.sprintf "%.4f" r.metrics.Metrics.max_apr;
+         ])
+       rows)
+
+let fig_rows = Hashtbl.create 4
+
+let rows_cached dataset =
+  match Hashtbl.find_opt fig_rows dataset.Datasets.name with
+  | Some rows -> rows
+  | None ->
+      let rows = Runner.rows_for dataset in
+      Hashtbl.add fig_rows dataset.Datasets.name rows;
+      rows
+
+(* --- A1: cID approximation vs exact tree content sets --- *)
+
+let ablation_cid () =
+  print_endline "\n## Ablation A1: (min,max) cID vs exact tree content sets";
+  let dataset = Datasets.find "xmark-std" in
+  let engine = Runner.load dataset in
+  Printf.printf "%-8s %12s %12s %10s %10s\n" "query" "approx(ms)" "exact(ms)"
+    "approx|V|" "exact|V|";
+  List.iter
+    (fun (mnemonic, keywords) ->
+      let q = Query.make (Engine.index engine) keywords in
+      let run cid_mode () = Xks_core.Validrtf.run_query ~cid_mode q in
+      let ms_a, ra = Runner.measure (run Xks_index.Cid.Approx) in
+      let ms_e, re = Runner.measure (run Xks_index.Cid.Exact) in
+      let nodes r =
+        List.fold_left
+          (fun acc f -> acc + Xks_core.Fragment.size f)
+          0 r.Xks_core.Pipeline.fragments
+      in
+      Printf.printf "%-8s %12.3f %12.3f %10d %10d\n" mnemonic ms_a ms_e
+        (nodes ra) (nodes re))
+    dataset.Datasets.workload.Xks_datagen.Queries.queries
+
+(* --- A2: getLCA algorithm choice --- *)
+
+let ablation_lca () =
+  print_endline
+    "\n## Ablation A2: Indexed Stack vs bottom-up tree scan vs SLCA-only";
+  let dataset = Datasets.find "xmark1" in
+  let engine = Runner.load dataset in
+  Printf.printf "%-8s %6s %12s %12s %12s %12s %12s %6s %6s\n" "query" "|S1|"
+    "IdxStack(ms)" "StackELCA(ms)" "TreeScan(ms)" "SLCA-ILE(ms)" "ScanEager(ms)"
+    "#ELCA" "#SLCA";
+  List.iter
+    (fun (mnemonic, keywords) ->
+      let q = Query.make (Engine.index engine) keywords in
+      let s1 =
+        Array.fold_left
+          (fun acc s -> min acc (Array.length s))
+          max_int q.Query.postings
+      in
+      let ms_is, elcas =
+        Runner.measure (fun () -> Xks_lca.Indexed_stack.elca q.doc q.postings)
+      in
+      let ms_ts, _ =
+        Runner.measure (fun () -> Xks_lca.Tree_scan.elca q.doc q.postings)
+      in
+      let ms_sl, slcas =
+        Runner.measure (fun () ->
+            Xks_lca.Slca.indexed_lookup_eager q.doc q.postings)
+      in
+      let ms_se, _ =
+        Runner.measure (fun () -> Xks_lca.Scan_eager.slca q.doc q.postings)
+      in
+      let ms_de, _ =
+        Runner.measure (fun () -> Xks_lca.Stack_algos.elca q.doc q.postings)
+      in
+      Printf.printf "%-8s %6d %12.3f %12.3f %12.3f %12.3f %12.3f %6d %6d\n"
+        mnemonic s1 ms_is ms_de ms_ts ms_sl ms_se (List.length elcas)
+        (List.length slcas))
+    dataset.Datasets.workload.Xks_datagen.Queries.queries
+
+(* --- A3: all-LCA RTFs vs SLCA-only fragments --- *)
+
+let ablation_slca () =
+  print_endline
+    "\n## Ablation A3: ValidRTF (all LCAs) vs original MaxMatch (SLCA only)";
+  let dataset = Datasets.find "dblp" in
+  let engine = Runner.load dataset in
+  Printf.printf "%-8s %10s %10s %12s %12s\n" "query" "#RTF" "#SLCA" "RTFnodes"
+    "SLCAnodes";
+  List.iter
+    (fun (mnemonic, keywords) ->
+      let validrtf = Engine.run ~algorithm:Engine.Validrtf engine keywords in
+      let original =
+        Engine.run ~algorithm:Engine.Maxmatch_original engine keywords
+      in
+      let nodes r =
+        List.fold_left
+          (fun acc f -> acc + Xks_core.Fragment.size f)
+          0 r.Xks_core.Pipeline.fragments
+      in
+      Printf.printf "%-8s %10d %10d %12d %12d\n" mnemonic
+        (List.length validrtf.Xks_core.Pipeline.lcas)
+        (List.length original.Xks_core.Pipeline.lcas)
+        (nodes validrtf) (nodes original))
+    dataset.Datasets.workload.Xks_datagen.Queries.queries
+
+(* --- A5: RTF vs GDMCT result semantics --- *)
+
+let ablation_gdmct () =
+  print_endline
+    "\n## Ablation A5: meaningful RTFs vs grouped minimum connecting trees";
+  let dataset = Datasets.find "xmark-std" in
+  let engine = Runner.load dataset in
+  Printf.printf "%-8s %8s %10s %8s %10s\n" "query" "#RTF" "RTFnodes" "#MCT"
+    "MCTnodes";
+  List.iter
+    (fun (mnemonic, keywords) ->
+      let q = Query.make (Engine.index engine) keywords in
+      let validrtf = Xks_core.Validrtf.run_query q in
+      let mcts = Xks_core.Gdmct.search q in
+      let rtf_nodes =
+        List.fold_left
+          (fun acc f -> acc + Xks_core.Fragment.size f)
+          0 validrtf.Xks_core.Pipeline.fragments
+      in
+      let mct_nodes =
+        List.fold_left
+          (fun acc (r : Xks_core.Gdmct.result) ->
+            acc + Xks_core.Fragment.size r.Xks_core.Gdmct.fragment)
+          0 mcts
+      in
+      Printf.printf "%-8s %8d %10d %8d %10d\n" mnemonic
+        (List.length validrtf.Xks_core.Pipeline.lcas)
+        rtf_nodes (List.length mcts) mct_nodes)
+    dataset.Datasets.workload.Xks_datagen.Queries.queries
+
+(* --- Random workloads: the Figure 5/6 shapes without hand-picked
+   queries --- *)
+
+let random_workload () =
+  print_endline
+    "\n## Random workload (generated queries, dblp): figure 5/6 shapes";
+  let dataset = Datasets.find "dblp" in
+  let engine = Runner.load dataset in
+  let queries =
+    Xks_datagen.Workload_gen.generate ~seed:2009 ~count:15
+      (Engine.index engine)
+  in
+  Printf.printf "%-34s %12s %12s %6s %6s %6s %6s\n" "query" "MaxMatch(ms)"
+    "ValidRTF(ms)" "RTFs" "CFR" "APR'" "MaxAPR";
+  List.iter
+    (fun keywords ->
+      let r = Runner.run_query engine (String.concat " " keywords, keywords) in
+      Printf.printf "%-34s %12.3f %12.3f %6d %6.2f %6.2f %6.2f\n" r.mnemonic
+        r.maxmatch_ms r.validrtf_ms r.rtf_count r.metrics.Metrics.cfr
+        r.metrics.Metrics.apr' r.metrics.Metrics.max_apr)
+    queries
+
+(* --- Bechamel suite: one Test.make per figure panel --- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let representative =
+    (* One characteristic query per dataset: mid-frequency keywords. *)
+    [
+      ("dblp", [ "xml"; "keyword"; "retrieval"; "algorithm" ]);
+      ("xmark-std", [ "threshold"; "chronicle"; "method" ]);
+      ("xmark1", [ "threshold"; "chronicle"; "method" ]);
+      ("xmark2", [ "threshold"; "chronicle"; "method" ]);
+    ]
+  in
+  let tests =
+    List.concat_map
+      (fun (name, keywords) ->
+        let engine = Runner.load (Datasets.find name) in
+        let q = Query.make (Engine.index engine) keywords in
+        [
+          (* Figure 5 panels: the two timed algorithms. *)
+          Test.make
+            ~name:(Printf.sprintf "fig5/%s/validrtf" name)
+            (Staged.stage (fun () -> ignore (Xks_core.Validrtf.run_query q)));
+          Test.make
+            ~name:(Printf.sprintf "fig5/%s/maxmatch" name)
+            (Staged.stage (fun () ->
+                 ignore (Xks_core.Maxmatch.run_revised_query q)));
+          (* Figure 6 panels: metric computation on top of both runs. *)
+          Test.make
+            ~name:(Printf.sprintf "fig6/%s/metrics" name)
+            (Staged.stage (fun () ->
+                 let validrtf = Xks_core.Validrtf.run_query q in
+                 let maxmatch = Xks_core.Maxmatch.run_revised_query q in
+                 ignore (Metrics.compare_results ~validrtf ~maxmatch)));
+        ])
+      representative
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  print_endline "\n## Bechamel micro-benchmarks (ns per run, OLS estimate)";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-28s (no estimate)\n" name)
+        results)
+    (List.map (fun t -> Test.make_grouped ~name:"xks" [ t ]) tests)
+
+(* --- commands --- *)
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt string "dblp"
+    & info [ "dataset" ] ~docv:"NAME"
+        ~doc:"One of dblp, xmark-std, xmark1, xmark2.")
+
+let scale_args =
+  let out =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write the figure rows as CSV files into $(docv).")
+  in
+  let entries =
+    Arg.(
+      value & opt int 12000
+      & info [ "dblp-entries" ] ~docv:"N" ~doc:"DBLP corpus size.")
+  in
+  let items =
+    Arg.(
+      value & opt int 200
+      & info [ "xmark-items" ] ~docv:"N"
+          ~doc:"XMark items per region at standard scale.")
+  in
+  Term.(
+    const (fun out entries items ->
+        csv_dir := out;
+        Datasets.dblp_entries := entries;
+        Datasets.xmark_items := items)
+    $ out $ entries $ items)
+
+let fig5_cmd =
+  let run () dataset =
+    let d = Datasets.find dataset in
+    let rows = rows_cached d in
+    print_fig5 dataset rows;
+    csv_fig5 dataset rows
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Regenerate a Figure 5 panel.")
+    Term.(const run $ scale_args $ dataset_arg)
+
+let fig6_cmd =
+  let run () dataset =
+    let d = Datasets.find dataset in
+    let rows = rows_cached d in
+    print_fig6 dataset rows;
+    csv_fig6 dataset rows
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Regenerate a Figure 6 panel.")
+    Term.(const run $ scale_args $ dataset_arg)
+
+let ablation_cid_cmd =
+  Cmd.v
+    (Cmd.info "ablation-cid" ~doc:"A1: cID approximation ablation.")
+    Term.(const (fun () -> ablation_cid ()) $ scale_args)
+
+let ablation_lca_cmd =
+  Cmd.v
+    (Cmd.info "ablation-lca" ~doc:"A2: getLCA algorithm ablation.")
+    Term.(const (fun () -> ablation_lca ()) $ scale_args)
+
+let ablation_slca_cmd =
+  Cmd.v
+    (Cmd.info "ablation-slca" ~doc:"A3: all-LCA vs SLCA-only ablation.")
+    Term.(const (fun () -> ablation_slca ()) $ scale_args)
+
+let ablation_gdmct_cmd =
+  Cmd.v
+    (Cmd.info "ablation-gdmct"
+       ~doc:"A5: RTFs vs grouped minimum connecting trees.")
+    Term.(const (fun () -> ablation_gdmct ()) $ scale_args)
+
+let random_cmd =
+  Cmd.v
+    (Cmd.info "fig5-random"
+       ~doc:"Figure 5/6 measurements over generated random workloads.")
+    Term.(const (fun () -> random_workload ()) $ scale_args)
+
+let bechamel_cmd =
+  Cmd.v
+    (Cmd.info "bechamel" ~doc:"Bechamel micro-benchmark suite.")
+    Term.(const (fun () -> bechamel_suite ()) $ scale_args)
+
+let run_all () =
+  List.iter
+    (fun (d : Datasets.t) ->
+      let rows = rows_cached d in
+      print_fig5 d.name rows;
+      print_fig6 d.name rows;
+      csv_fig5 d.name rows;
+      csv_fig6 d.name rows)
+    (Datasets.all ());
+  ablation_cid ();
+  ablation_lca ();
+  ablation_slca ();
+  ablation_gdmct ();
+  random_workload ();
+  bechamel_suite ()
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure, ablation and micro-bench.")
+    Term.(const run_all $ scale_args)
+
+let () =
+  let info =
+    Cmd.info "bench" ~doc:"Regenerate the paper's evaluation artifacts."
+  in
+  let default = Term.(const run_all $ scale_args) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            fig5_cmd; fig6_cmd; ablation_cid_cmd; ablation_lca_cmd;
+            ablation_slca_cmd; ablation_gdmct_cmd; random_cmd; bechamel_cmd;
+            all_cmd;
+          ]))

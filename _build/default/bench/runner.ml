@@ -1,0 +1,60 @@
+(* Shared measurement machinery for the figure harness: the paper runs
+   each query 6 times and averages after discarding the first
+   (Section 5.1); we do the same with a monotonic clock. *)
+
+module Engine = Xks_core.Engine
+module Query = Xks_core.Query
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_ms f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (Int64.to_float (Int64.sub t1 t0) /. 1e6, result)
+
+(* Average elapsed ms over [reps] runs after a discarded warm-up. *)
+let measure ?(reps = 6) f =
+  let _, first = time_ms f in
+  let total = ref 0.0 in
+  for _ = 2 to reps do
+    let ms, _ = time_ms f in
+    total := !total +. ms
+  done;
+  (!total /. float_of_int (reps - 1), first)
+
+type row = {
+  mnemonic : string;
+  keywords : string list;
+  maxmatch_ms : float;
+  validrtf_ms : float;
+  rtf_count : int;
+  metrics : Xks_metrics.Metrics.t;
+}
+
+let run_query engine (mnemonic, keywords) =
+  let q = Query.make (Engine.index engine) keywords in
+  let validrtf_ms, validrtf = measure (fun () -> Xks_core.Validrtf.run_query q) in
+  let maxmatch_ms, maxmatch =
+    measure (fun () -> Xks_core.Maxmatch.run_revised_query q)
+  in
+  let metrics = Xks_metrics.Metrics.compare_results ~validrtf ~maxmatch in
+  {
+    mnemonic;
+    keywords;
+    maxmatch_ms;
+    validrtf_ms;
+    rtf_count = List.length validrtf.Xks_core.Pipeline.lcas;
+    metrics;
+  }
+
+let load (dataset : Datasets.t) =
+  Printf.printf "# dataset %s: generating and indexing...\n%!" dataset.name;
+  let ms, engine = time_ms (fun () -> Lazy.force dataset.engine) in
+  Printf.printf "# %s ready in %.0f ms (%s)\n%!" dataset.name ms
+    (Engine.stats engine);
+  engine
+
+let rows_for dataset =
+  let engine = load dataset in
+  List.map (run_query engine) dataset.Datasets.workload.Xks_datagen.Queries.queries

@@ -1,0 +1,272 @@
+(* xks — command-line XML keyword search.
+
+   Subcommands:
+     search   run a keyword query against an XML file
+     stats    show document/index statistics and top words
+     shred    dump the relational tables (label/element/value)
+     gen      emit a synthetic DBLP-like or XMark-like corpus
+*)
+
+open Cmdliner
+
+let engine_of_file path =
+  try Xks_core.Engine.of_file path with
+  | e when Xks_xml.Parser.error_to_string e <> None ->
+      (match Xks_xml.Parser.error_to_string e with
+      | Some msg ->
+          prerr_endline msg;
+          exit 2
+      | None -> assert false)
+  | Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"XML document to search.")
+
+(* --- search --- *)
+
+let algorithm_conv =
+  Arg.enum
+    [
+      ("validrtf", Xks_core.Engine.Validrtf);
+      ("maxmatch", Xks_core.Engine.Maxmatch);
+      ("maxmatch-original", Xks_core.Engine.Maxmatch_original);
+    ]
+
+let search_cmd =
+  let keywords =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"KEYWORD" ~doc:"Query keywords.")
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Xks_core.Engine.Validrtf
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "Algorithm: $(b,validrtf) (default), $(b,maxmatch) (revised) or \
+             $(b,maxmatch-original) (SLCA only).")
+  in
+  let xml_out =
+    Arg.(value & flag & info [ "x"; "xml" ] ~doc:"Print fragments as XML.")
+  in
+  let exact_cid =
+    Arg.(
+      value & flag
+      & info [ "exact-cid" ]
+          ~doc:
+            "Use exact tree content sets instead of the paper's (min, max) \
+             approximation when pruning.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 10
+      & info [ "n"; "limit" ] ~docv:"N" ~doc:"Show at most $(docv) results.")
+  in
+  let snippets =
+    Arg.(
+      value & flag
+      & info [ "s"; "snippets" ]
+          ~doc:"Show a query-biased snippet under each result.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Show, for every node of each raw RTF, which pruning rule \
+             kept or discarded it.")
+  in
+  let run file ws algorithm xml_out exact_cid limit snippets explain =
+    let engine = engine_of_file file in
+    let cid_mode =
+      if exact_cid then Xks_index.Cid.Exact else Xks_index.Cid.Approx
+    in
+    (* Terms containing ':' use the labeled-search extension. *)
+    let labeled = List.exists (fun w -> String.contains w ':') ws in
+    let hits =
+      if labeled then Xks_core.Labeled.search ~algorithm engine ws
+      else Xks_core.Engine.search ~algorithm ~cid_mode engine ws
+    in
+    let query =
+      if labeled then Xks_core.Labeled.query (Xks_core.Engine.index engine) ws
+      else Xks_core.Query.make (Xks_core.Engine.index engine) ws
+    in
+    Printf.printf "%d result(s) for \"%s\"\n" (List.length hits)
+      (String.concat " " ws);
+    if hits = [] && not labeled then
+      List.iter
+        (fun (w, correction) ->
+          match correction with
+          | Some better -> Printf.printf "no \"%s\" — did you mean \"%s\"?\n" w better
+          | None -> ())
+        (Xks_index.Suggest.correct_query (Xks_core.Engine.index engine) ws);
+    List.iteri
+      (fun i (hit : Xks_core.Engine.hit) ->
+        if i < limit then begin
+          Printf.printf "-- #%d score %.2f %s\n" (i + 1)
+            hit.Xks_core.Engine.score
+            (if hit.Xks_core.Engine.is_slca then "(slca)" else "(lca)");
+          print_string (Xks_core.Engine.render ~xml:xml_out engine hit);
+          if snippets then
+            Printf.printf "   %s\n"
+              (Xks_core.Snippet.of_fragment query hit.Xks_core.Engine.fragment);
+          if explain then begin
+            let info =
+              Xks_core.Node_info.construct ~cid_mode query
+                hit.Xks_core.Engine.rtf
+            in
+            let decisions =
+              match algorithm with
+              | Xks_core.Engine.Validrtf ->
+                  Xks_core.Explain.valid_contributor info
+              | Xks_core.Engine.Maxmatch | Xks_core.Engine.Maxmatch_original ->
+                  Xks_core.Explain.contributor info
+            in
+            print_string
+              (Xks_core.Explain.render (Xks_core.Engine.doc engine) decisions)
+          end
+        end)
+      hits
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Run an XML keyword query and print fragments.")
+    Term.(
+      const run $ file_arg $ keywords $ algorithm $ xml_out $ exact_cid $ limit
+      $ snippets $ explain)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) most frequent words.")
+  in
+  let run file top =
+    let engine = engine_of_file file in
+    print_endline (Xks_core.Engine.stats engine);
+    let idx = Xks_core.Engine.index engine in
+    List.iter
+      (fun (w, c) -> Printf.printf "%8d  %s\n" c w)
+      (Xks_index.Inverted.top_words idx top)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Document and index statistics.")
+    Term.(const run $ file_arg $ top)
+
+(* --- shred --- *)
+
+let shred_cmd =
+  let run file =
+    let doc = Xks_xml.Parser.parse_file file in
+    let tables = Xks_index.Shredder.shred doc in
+    let nl, ne, nv = Xks_index.Shredder.row_count tables in
+    Printf.printf "label table (%d rows):\n" nl;
+    List.iter
+      (fun r ->
+        Printf.printf "  %3d %s\n" r.Xks_index.Shredder.label_id
+          r.Xks_index.Shredder.label_name)
+      tables.Xks_index.Shredder.labels;
+    Printf.printf "element table: %d rows\nvalue table: %d rows\n" ne nv
+  in
+  Cmd.v
+    (Cmd.info "shred"
+       ~doc:"Shred a document into the paper's relational tables.")
+    Term.(const run $ file_arg)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let dataset =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (Arg.enum
+                [
+                  ("dblp", `Dblp); ("xmark-std", `Xmark Xks_datagen.Xmark_gen.Standard);
+                  ("xmark1", `Xmark Xks_datagen.Xmark_gen.Data1);
+                  ("xmark2", `Xmark Xks_datagen.Xmark_gen.Data2);
+                ]))
+          None
+      & info [] ~docv:"DATASET"
+          ~doc:"One of $(b,dblp), $(b,xmark-std), $(b,xmark1), $(b,xmark2).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let size =
+    Arg.(
+      value & opt int 0
+      & info [ "size" ] ~docv:"N"
+          ~doc:
+            "Size knob: DBLP entries (default 12000) or XMark items per \
+             region at standard scale (default 60).")
+  in
+  let run dataset out seed size =
+    let doc =
+      match dataset with
+      | `Dblp ->
+          let d = Xks_datagen.Dblp_gen.default_config in
+          let entries = if size > 0 then size else d.Xks_datagen.Dblp_gen.entries in
+          Xks_datagen.Dblp_gen.generate
+            ~config:{ d with seed; entries } ()
+      | `Xmark sz ->
+          let d = Xks_datagen.Xmark_gen.default_config in
+          let items = if size > 0 then size else d.Xks_datagen.Xmark_gen.items in
+          Xks_datagen.Xmark_gen.generate ~config:{ d with seed; items } sz
+    in
+    Xks_xml.Writer.to_file out doc;
+    Printf.printf "wrote %s (%d nodes)\n" out (Xks_xml.Tree.size doc)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic corpus as an XML file.")
+    Term.(const run $ dataset $ out $ seed $ size)
+
+(* --- sql --- *)
+
+let sql_cmd =
+  let keyword =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"KEYWORD" ~doc:"Keyword to look up in the value table.")
+  in
+  let run file keyword =
+    let doc = Xks_xml.Parser.parse_file file in
+    let store = Xks_index.Rel_store.of_doc doc in
+    let result =
+      Xks_relational.Plan.select ~distinct:true ~order_by:[ "id" ]
+        ~columns:[ "id"; "dewey"; "label"; "attribute" ]
+        ~where:
+          (Xks_relational.Plan.Eq
+             ( "keyword",
+               Xks_relational.Value.text (Xks_xml.Tokenizer.normalize keyword) ))
+        (Xks_index.Rel_store.value_table store)
+    in
+    Format.printf "%a" Xks_relational.Plan.pp_result result
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Answer a keyword lookup through the relational (shredded-table) \
+          path, as the paper's platform does.")
+    Term.(const run $ file_arg $ keyword)
+
+let () =
+  let doc = "XML keyword search with meaningful relaxed tightest fragments" in
+  let info = Cmd.info "xks" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ search_cmd; stats_cmd; shred_cmd; gen_cmd; sql_cmd ]))

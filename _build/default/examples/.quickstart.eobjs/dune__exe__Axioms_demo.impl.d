@@ -1,0 +1,1 @@
+examples/axioms_demo.ml: List Printf Xks_core Xks_xml

@@ -1,0 +1,1 @@
+examples/axioms_demo.mli:

@@ -1,0 +1,1 @@
+examples/dblp_search.ml: Array Format List Printf String Sys Xks_core Xks_datagen Xks_metrics

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf String Xks_core Xks_datagen

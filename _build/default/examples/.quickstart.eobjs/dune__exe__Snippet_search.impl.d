@@ -1,0 +1,1 @@
+examples/snippet_search.ml: Filename Fun List Printf String Sys Xks_core Xks_index Xks_xml

@@ -1,0 +1,1 @@
+examples/snippet_search.mli:

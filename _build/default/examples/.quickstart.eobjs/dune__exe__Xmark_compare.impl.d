@@ -1,0 +1,1 @@
+examples/xmark_compare.ml: List Printf String Xks_core Xks_datagen Xks_metrics

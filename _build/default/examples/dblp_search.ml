@@ -1,0 +1,52 @@
+(* Bibliography search: generate a DBLP-shaped corpus, run keyword
+   queries from the command line (or a default workload), and compare
+   what ValidRTF and MaxMatch return.
+
+     dune exec examples/dblp_search.exe -- xml keyword search
+     dune exec examples/dblp_search.exe            # default workload
+*)
+
+module Engine = Xks_core.Engine
+module Dblp = Xks_datagen.Dblp_gen
+module Metrics = Xks_metrics.Metrics
+
+let default_queries =
+  [
+    [ "keyword"; "similarity" ];
+    [ "xml"; "query"; "efficient" ];
+    [ "henry"; "automata" ];
+    [ "vldb"; "tree"; "dynamic" ];
+  ]
+
+let show_top engine query =
+  Printf.printf "query: %s\n" (String.concat " " query);
+  let hits = Engine.search engine query in
+  Printf.printf "  %d results\n" (List.length hits);
+  (match hits with
+  | top :: _ ->
+      Printf.printf "  top hit (score %.2f):\n" top.Engine.score;
+      print_string
+        (String.concat ""
+           (List.map
+              (fun line -> "    " ^ line ^ "\n")
+              (String.split_on_char '\n' (String.trim (Engine.render engine top)))))
+  | [] -> ());
+  (* Effectiveness vs the MaxMatch baseline on the same query. *)
+  let validrtf = Engine.run ~algorithm:Engine.Validrtf engine query in
+  let maxmatch = Engine.run ~algorithm:Engine.Maxmatch engine query in
+  let m = Metrics.compare_results ~validrtf ~maxmatch in
+  Format.printf "  vs MaxMatch: %a@." Metrics.pp m
+
+let () =
+  let config = { Dblp.default_config with entries = 3000 } in
+  Printf.printf "generating DBLP-like corpus (%d entries)...\n%!"
+    config.Dblp.entries;
+  let doc = Dblp.generate ~config () in
+  let engine = Engine.of_doc doc in
+  Printf.printf "indexed: %s\n\n" (Engine.stats engine);
+  let queries =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as words) -> [ words ]
+    | _ -> default_queries
+  in
+  List.iter (show_top engine) queries

@@ -1,0 +1,39 @@
+(* Quickstart: run the paper's five example queries on the Figure 1 data
+   and print the fragments of Figures 2 and 3.
+
+     dune exec examples/quickstart.exe
+*)
+
+module Engine = Xks_core.Engine
+module Fixtures = Xks_datagen.Paper_fixtures
+
+let run_query engine title query =
+  Printf.printf "=== %s : \"%s\" ===\n" title (String.concat " " query);
+  let show name algorithm =
+    Printf.printf "--- %s ---\n" name;
+    let hits = Engine.search ~algorithm ~rank:false engine query in
+    if hits = [] then print_endline "(no results)"
+    else
+      List.iter
+        (fun (hit : Engine.hit) ->
+          Printf.printf "%s fragment (%d nodes)%s:\n%s"
+            (if hit.is_slca then "SLCA" else "LCA")
+            (Xks_core.Fragment.size hit.fragment)
+            (Printf.sprintf ", score %.2f" hit.score)
+            (Engine.render engine hit))
+        hits
+  in
+  show "ValidRTF" Engine.Validrtf;
+  show "MaxMatch (revised)" Engine.Maxmatch;
+  print_newline ()
+
+let () =
+  let publications = Engine.of_doc (Fixtures.publications ()) in
+  let team = Engine.of_doc (Fixtures.team ()) in
+  Printf.printf "Publications data: %s\n" (Engine.stats publications);
+  Printf.printf "Team data: %s\n\n" (Engine.stats team);
+  run_query publications "Q1 (false positive example, figs 3b/3c)" Fixtures.q1;
+  run_query publications "Q2 (SLCA vs LCA, figs 2a/2b)" Fixtures.q2;
+  run_query publications "Q3 (running example, figs 2c/2d)" Fixtures.q3;
+  run_query team "Q4 (redundancy example, fig 3d)" Fixtures.q4;
+  run_query team "Q5 (positive example, fig 3a)" Fixtures.q5

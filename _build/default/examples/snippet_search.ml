@@ -1,0 +1,98 @@
+(* Extension showcase: labeled query terms, query-biased snippets,
+   ElemRank-weighted ranking and index persistence working together on a
+   small catalogue.
+
+     dune exec examples/snippet_search.exe
+*)
+
+module Engine = Xks_core.Engine
+module Labeled = Xks_core.Labeled
+module Snippet = Xks_core.Snippet
+module Elemrank = Xks_core.Elemrank
+
+let catalogue =
+  "<catalog>\
+   <book><title>The XML Handbook</title>\
+   <summary>a practical tour of xml modelling and keyword search over \
+   document trees</summary></book>\
+   <book><title>Streams and Trees</title>\
+   <summary>stream processing with tree automata, with a short xml \
+   appendix</summary></book>\
+   <article><title>Keyword Search Engines</title>\
+   <summary>ranking keyword search results for semi structured \
+   data</summary></article>\
+   </catalog>"
+
+let () =
+  let engine = Engine.of_string catalogue in
+  Printf.printf "indexed: %s\n\n" (Engine.stats engine);
+
+  (* Plain keyword search with snippets. *)
+  let query = [ "xml"; "keyword"; "search" ] in
+  Printf.printf "query: %s\n" (String.concat " " query);
+  let result = Engine.run engine query in
+  let q = result.Xks_core.Pipeline.query in
+  List.iteri
+    (fun i frag ->
+      Printf.printf "  %d. %s\n" (i + 1) (Snippet.of_fragment q frag))
+    result.Xks_core.Pipeline.fragments;
+
+  (* The same query restricted to titles. *)
+  print_newline ();
+  let terms = [ "title:keyword"; "title:search" ] in
+  Printf.printf "labeled query: %s\n" (String.concat " " terms);
+  List.iter
+    (fun (hit : Engine.hit) ->
+      print_string (Engine.render engine hit))
+    (Labeled.search engine terms);
+
+  (* Structural prior: which elements does ElemRank consider central? *)
+  print_newline ();
+  let prior = Elemrank.compute (Engine.doc engine) in
+  print_endline "most central elements (ElemRank):";
+  List.iter
+    (fun (id, score) ->
+      let node = Xks_xml.Tree.node (Engine.doc engine) id in
+      Printf.printf "  %-10s %.4f\n"
+        (Xks_xml.Tree.label_name (Engine.doc engine) node)
+        score)
+    (Elemrank.top prior 3);
+
+  (* Phrase search: quoted terms must be consecutive. *)
+  print_newline ();
+  let pidx = Xks_index.Positional.build (Engine.doc engine) in
+  let phrase = [ "\"keyword search\"" ] in
+  Printf.printf "phrase query: %s\n" (String.concat " " phrase);
+  List.iter
+    (fun (hit : Engine.hit) -> print_string (Engine.render engine hit))
+    (Xks_core.Phrase.search engine pidx phrase);
+
+  (* Path-scoped search: keywords restricted to a structural scope. *)
+  print_newline ();
+  Printf.printf "scoped query: //book + [xml]\n";
+  List.iter
+    (fun (hit : Engine.hit) -> print_string (Engine.render engine hit))
+    (Xks_core.Scoped.search engine ~path:"//book" [ "xml" ]);
+
+  (* Suggestions when a keyword is misspelled. *)
+  print_newline ();
+  List.iter
+    (fun (w, correction) ->
+      match correction with
+      | Some better -> Printf.printf "did you mean: %s -> %s\n" w better
+      | None -> ())
+    (Xks_index.Suggest.correct_query (Engine.index engine)
+       [ "xlm"; "keyword" ]);
+
+  (* Persist the index and reopen it. *)
+  let path = Filename.temp_file "xks_demo" ".idx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Xks_index.Persist.save path (Engine.index engine);
+      let reopened = Xks_index.Persist.load path (Engine.doc engine) in
+      let again = Xks_core.Validrtf.run reopened query in
+      Printf.printf "\nreloaded index from %s: %d result(s), identical to %d\n"
+        (Filename.basename path)
+        (List.length again.Xks_core.Pipeline.fragments)
+        (List.length result.Xks_core.Pipeline.fragments))

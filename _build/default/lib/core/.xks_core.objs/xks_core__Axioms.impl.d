@@ -1,0 +1,1 @@
+lib/core/axioms.ml: Array Fragment List Pipeline Printf Set Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/axioms.mli: Pipeline Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/elemrank.ml: Array Float Int List Xks_xml

@@ -1,0 +1,1 @@
+lib/core/elemrank.mli: Xks_xml

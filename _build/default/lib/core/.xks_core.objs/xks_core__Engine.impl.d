@@ -1,0 +1,1 @@
+lib/core/engine.ml: Fragment Int Lazy List Maxmatch Pipeline Printf Query Ranking Rtf Validrtf Xks_index Xks_lca Xks_xml

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Fragment Pipeline Rtf Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Hashtbl Int List Node_info Printf String Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Node_info Xks_xml

@@ -1,0 +1,1 @@
+lib/core/fragment.ml: Array Buffer Format Int List String Xks_util Xks_xml

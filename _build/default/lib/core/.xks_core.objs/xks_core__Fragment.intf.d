@@ -1,0 +1,1 @@
+lib/core/fragment.mli: Format Xks_xml

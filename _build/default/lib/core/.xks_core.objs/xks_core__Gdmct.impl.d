@@ -1,0 +1,1 @@
+lib/core/gdmct.ml: Array Fragment Fun List Option Query Xks_lca Xks_util Xks_xml

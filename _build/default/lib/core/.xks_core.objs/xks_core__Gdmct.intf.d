@@ -1,0 +1,1 @@
+lib/core/gdmct.mli: Fragment Query

@@ -1,0 +1,1 @@
+lib/core/labeled.ml: Array Engine List Maxmatch Query String Validrtf Xks_index Xks_util Xks_xml

@@ -1,0 +1,1 @@
+lib/core/labeled.mli: Engine Query Xks_index

@@ -1,0 +1,1 @@
+lib/core/maxmatch.ml: Pipeline Query

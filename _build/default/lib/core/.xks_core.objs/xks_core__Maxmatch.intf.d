@@ -1,0 +1,1 @@
+lib/core/maxmatch.mli: Pipeline Query Xks_index

@@ -1,0 +1,1 @@
+lib/core/node_info.ml: Array Hashtbl Int List Query Rtf Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/node_info.mli: Query Rtf Xks_index Xks_xml

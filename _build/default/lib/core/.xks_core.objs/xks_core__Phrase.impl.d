@@ -1,0 +1,1 @@
+lib/core/phrase.ml: Array Engine List Maxmatch Query String Validrtf Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/phrase.mli: Engine Query Xks_index

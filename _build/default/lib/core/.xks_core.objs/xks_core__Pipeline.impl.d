@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Domain Fragment List Node_info Prune Query Rtf Xks_lca

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Fragment Query Rtf Xks_index

@@ -1,0 +1,1 @@
+lib/core/prune.ml: Array Fragment Hashtbl Int List Node_info Xks_index

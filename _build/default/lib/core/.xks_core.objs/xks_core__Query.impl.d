@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Format Hashtbl List String Xks_index Xks_util Xks_xml

@@ -1,0 +1,1 @@
+lib/core/query.mli: Format Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array Elemrank Float Fragment Int List Pipeline Query Rtf Xks_xml

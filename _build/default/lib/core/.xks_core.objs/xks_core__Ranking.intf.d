@@ -1,0 +1,1 @@
+lib/core/ranking.mli: Elemrank Fragment Pipeline Query Rtf

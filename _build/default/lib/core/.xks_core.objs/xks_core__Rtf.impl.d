@@ -1,0 +1,1 @@
+lib/core/rtf.ml: Array Fragment Int List Query Xks_util Xks_xml

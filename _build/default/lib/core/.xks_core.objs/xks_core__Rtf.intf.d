@@ -1,0 +1,1 @@
+lib/core/rtf.mli: Fragment Query

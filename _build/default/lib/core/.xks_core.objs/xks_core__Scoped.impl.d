@@ -1,0 +1,1 @@
+lib/core/scoped.ml: Array Engine List Maxmatch Query Validrtf Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/scoped.mli: Engine Query Xks_index Xks_xml

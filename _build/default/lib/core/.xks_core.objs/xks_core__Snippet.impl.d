@@ -1,0 +1,1 @@
+lib/core/snippet.ml: Array Fragment List Printf Query String Xks_xml

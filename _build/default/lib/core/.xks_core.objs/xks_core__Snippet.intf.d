@@ -1,0 +1,1 @@
+lib/core/snippet.mli: Fragment Query

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Fun Int List Query Set Xks_lca Xks_util Xks_xml

@@ -1,0 +1,1 @@
+lib/core/tfidf.ml: Array Float Fragment Int List Pipeline Query Ranking Rtf Xks_index Xks_xml

@@ -1,0 +1,1 @@
+lib/core/tfidf.mli: Fragment Pipeline Query Ranking Rtf Xks_index

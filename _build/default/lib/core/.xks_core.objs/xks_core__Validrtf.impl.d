@@ -1,0 +1,1 @@
+lib/core/validrtf.ml: Pipeline Query

@@ -1,0 +1,1 @@
+lib/core/validrtf.mli: Pipeline Query Xks_index

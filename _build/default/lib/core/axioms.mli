@@ -1,0 +1,57 @@
+(** Checkers for the four axiomatic XKS properties (Liu & Chen VLDB'08,
+    restated in the paper's introduction), which Section 4.3(2) claims
+    ValidRTF satisfies:
+
+    + {b data monotonicity} — inserting a node never decreases the number
+      of query results;
+    + {b query monotonicity} — adding a keyword never increases it;
+    + {b data consistency} — after an insertion, every result subtree that
+      is new or gained nodes contains an inserted node;
+    + {b query consistency} — after adding a keyword, every result subtree
+      that is new or gained nodes contains a match of the new keyword.
+
+    Consistency is checked at the subtree level (the fragment must contain
+    the new node / new-keyword match somewhere); the stronger per-node
+    reading fails even on simple single-keyword documents — see the
+    discussion in EXPERIMENTS.md.
+
+    Results are compared structurally across runs, keyed by Dewey codes so
+    they survive re-indexing.  Data edits must {e append} subtrees (last
+    child position): appending never renumbers existing nodes, which keeps
+    the before/after comparison meaningful.  The checkers run any
+    algorithm with the [run] callback, so ValidRTF and both MaxMatch
+    variants can be audited with the same machinery. *)
+
+type run = Xks_index.Inverted.t -> string list -> Pipeline.result
+(** An XKS algorithm under audit, e.g. [Validrtf.run]. *)
+
+type report = {
+  ok : bool;
+  results_before : int;
+  results_after : int;
+  offending : string list;
+      (** human-readable descriptions of violating fragments, empty when
+          [ok] *)
+}
+
+val append_subtree :
+  Xks_xml.Tree.t -> parent_id:int -> Xks_xml.Tree.builder -> Xks_xml.Tree.t
+(** Append a builder as the last child of [parent_id] (the only edit shape
+    the checkers accept). *)
+
+val data_monotonicity :
+  run:run -> before:Xks_xml.Tree.t -> after:Xks_xml.Tree.t ->
+  query:string list -> report
+
+val query_monotonicity :
+  run:run -> doc:Xks_xml.Tree.t -> query:string list -> extra:string ->
+  report
+
+val data_consistency :
+  run:run -> before:Xks_xml.Tree.t -> after:Xks_xml.Tree.t ->
+  query:string list -> report
+(** [before] must embed into [after] by Dewey codes (append-only edit). *)
+
+val query_consistency :
+  run:run -> doc:Xks_xml.Tree.t -> query:string list -> extra:string ->
+  report

@@ -1,0 +1,60 @@
+module Tree = Xks_xml.Tree
+
+type t = float array
+
+let compute ?(damping = 0.85) ?(iterations = 50) doc =
+  let n = Tree.size doc in
+  let degree =
+    Array.init n (fun id ->
+        let node = Tree.node doc id in
+        Array.length node.children + (if node.parent >= 0 then 1 else 0))
+  in
+  let base = (1.0 -. damping) /. float_of_int n in
+  let scores = ref (Array.make n (1.0 /. float_of_int n)) in
+  let next = ref (Array.make n 0.0) in
+  let rec iterate round =
+    if round = 0 then ()
+    else begin
+      let s = !scores and t = !next in
+      Array.fill t 0 n base;
+      (* Each node spreads its mass evenly over its tree neighbours. *)
+      for id = 0 to n - 1 do
+        let node = Tree.node doc id in
+        let share =
+          if degree.(id) = 0 then 0.0
+          else damping *. s.(id) /. float_of_int degree.(id)
+        in
+        if node.parent >= 0 then t.(node.parent) <- t.(node.parent) +. share;
+        Array.iter
+          (fun (c : Tree.node) -> t.(c.id) <- t.(c.id) +. share)
+          node.children
+      done;
+      let delta = ref 0.0 in
+      for id = 0 to n - 1 do
+        delta := !delta +. abs_float (t.(id) -. s.(id))
+      done;
+      scores := t;
+      next := s;
+      if !delta > 1e-9 then iterate (round - 1)
+    end
+  in
+  iterate iterations;
+  (* Normalise: isolated mass (degree-0 singleton documents) keeps the
+     total at 1. *)
+  let total = Array.fold_left ( +. ) 0.0 !scores in
+  if total > 0.0 then Array.map (fun x -> x /. total) !scores else !scores
+
+let score t id =
+  if id < 0 || id >= Array.length t then invalid_arg "Elemrank.score";
+  t.(id)
+
+let top t n =
+  let all = Array.to_list (Array.mapi (fun id s -> (id, s)) t) in
+  let sorted =
+    List.sort
+      (fun (ia, sa) (ib, sb) ->
+        let c = Float.compare sb sa in
+        if c <> 0 then c else Int.compare ia ib)
+      all
+  in
+  List.filteri (fun i _ -> i < n) sorted

@@ -1,0 +1,24 @@
+(** ElemRank-style structural importance (after XRank, Guo et al. 2003).
+
+    A PageRank-like stationary score over the document tree: importance
+    flows along parent-child edges in both directions (containment and
+    reverse-containment), so hub elements — densely connected, centrally
+    nested — score above peripheral leaves.  Ranking can mix this
+    query-independent prior into the fragment score
+    ({!Ranking.score_with_prior}); the paper defers ranking to future
+    work, so this is an extension, not a reproduction target. *)
+
+type t
+(** Computed scores for one document. *)
+
+val compute : ?damping:float -> ?iterations:int -> Xks_xml.Tree.t -> t
+(** Power iteration with [damping] (default 0.85) for at most
+    [iterations] rounds (default 50) or until the L1 change drops below
+    1e-9.  Scores are normalised to sum to 1. *)
+
+val score : t -> int -> float
+(** Score of a node id.
+    @raise Invalid_argument when out of range. *)
+
+val top : t -> int -> (int * float) list
+(** The [n] best-scoring node ids, descending (ties by id). *)

@@ -1,0 +1,61 @@
+module Tree = Xks_xml.Tree
+
+type t = { doc : Tree.t; index : Xks_index.Inverted.t }
+type algorithm = Validrtf | Maxmatch | Maxmatch_original
+
+type hit = {
+  fragment : Fragment.t;
+  rtf : Rtf.t;
+  score : float;
+  is_slca : bool;
+}
+
+let of_doc doc = { doc; index = Xks_index.Inverted.build doc }
+let of_file path = of_doc (Xks_xml.Parser.parse_file path)
+let of_string s = of_doc (Xks_xml.Parser.parse_string s)
+let doc e = e.doc
+let index e = e.index
+
+let run ?(algorithm = Validrtf) ?cid_mode e ws =
+  let q = Query.make e.index ws in
+  match algorithm with
+  | Validrtf -> Validrtf.run_query ?cid_mode q
+  | Maxmatch -> Maxmatch.run_revised_query q
+  | Maxmatch_original -> Maxmatch.run_original_query q
+
+let hits_of_result ?(rank = true) (_ : t) result =
+  let slcas =
+    lazy
+      (let q = result.Pipeline.query in
+       if Query.has_results q then
+         Xks_lca.Slca.indexed_lookup_eager q.doc q.postings
+       else [])
+  in
+  let hit (scored : Ranking.scored) =
+    {
+      fragment = scored.fragment;
+      rtf = scored.rtf;
+      score = scored.score;
+      is_slca = List.mem scored.rtf.lca (Lazy.force slcas);
+    }
+  in
+  let scored = Ranking.rank result in
+  let scored =
+    if rank then scored
+    else
+      List.sort (fun (a : Ranking.scored) b -> Int.compare a.rtf.lca b.rtf.lca) scored
+  in
+  List.map hit scored
+
+let search ?algorithm ?cid_mode ?rank e ws =
+  hits_of_result ?rank e (run ?algorithm ?cid_mode e ws)
+
+let render ?(xml = false) e hit =
+  if xml then Fragment.to_xml e.doc hit.fragment
+  else Fragment.render e.doc hit.fragment
+
+let stats e =
+  Printf.sprintf "%d nodes, %d distinct labels, %d indexed words"
+    (Tree.size e.doc)
+    (Xks_xml.Label.count (Tree.labels e.doc))
+    (Xks_index.Inverted.vocabulary_size e.index)

@@ -1,0 +1,61 @@
+(** High-level search engine facade — the public entry point.
+
+    Wraps document loading, indexing, algorithm selection and result
+    rendering:
+
+    {[
+      let engine = Engine.of_file "catalog.xml" in
+      let hits = Engine.search engine [ "xml"; "keyword"; "search" ] in
+      List.iter (fun h -> print_string (Engine.render engine h)) hits
+    ]} *)
+
+type t
+
+type algorithm =
+  | Validrtf  (** the paper's algorithm (default) *)
+  | Maxmatch  (** revised MaxMatch — same RTFs, contributor pruning *)
+  | Maxmatch_original  (** VLDB'08 MaxMatch — SLCA fragments only *)
+
+type hit = {
+  fragment : Fragment.t;
+  rtf : Rtf.t;
+  score : float;
+  is_slca : bool;  (** whether the fragment root is an SLCA node *)
+}
+
+val of_doc : Xks_xml.Tree.t -> t
+(** Index a document already in memory. *)
+
+val of_file : string -> t
+(** Parse and index an XML file.
+    @raise Xks_xml.Parser.Error on malformed XML. *)
+
+val of_string : string -> t
+(** Parse and index an XML document given as a string. *)
+
+val doc : t -> Xks_xml.Tree.t
+val index : t -> Xks_index.Inverted.t
+
+val search :
+  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:bool ->
+  t -> string list -> hit list
+(** [search e ws] runs the query.  Hits are ranked by {!Ranking} when
+    [rank] is [true] (default); otherwise in document order.  The empty
+    hit list means some keyword does not occur.
+    @raise Invalid_argument on an empty query. *)
+
+val run :
+  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> t -> string list ->
+  Pipeline.result
+(** The raw pipeline result, for callers that need stage outputs. *)
+
+val hits_of_result : ?rank:bool -> t -> Pipeline.result -> hit list
+(** Turn a pipeline result into scored hits (what {!search} does after
+    running the pipeline); exposed for callers that build queries
+    themselves, e.g. {!Labeled}. *)
+
+val render : ?xml:bool -> t -> hit -> string
+(** Pretty tree view of a hit (or XML when [xml] is [true]). *)
+
+val stats : t -> string
+(** One-line document/index statistics. *)

@@ -1,0 +1,38 @@
+(** Why each node was kept or discarded.
+
+    A introspectable re-run of the two pruning mechanisms that records,
+    for every node of a raw RTF, the Definition-4 (or contributor) rule
+    that decided its fate and the sibling that triggered a discard.  The
+    engine's [--explain] CLI mode and the tests that pin each rule to
+    concrete nodes are built on this; the decisions are guaranteed (and
+    property-tested) to agree with {!Prune}. *)
+
+type reason =
+  | Kept_root  (** the RTF root is never pruned *)
+  | Kept_unique_label  (** rule 1: only child of its label *)
+  | Kept_maximal  (** rule 2(a): keyword set covered by no same-label sibling *)
+  | Kept_distinct_content
+      (** rule 2(b): equal keyword set but new content feature *)
+  | Discarded_covered of int
+      (** rule 2(a) fails: the sibling with this id strictly covers it *)
+  | Discarded_duplicate of int
+      (** rule 2(b) fails: same keyword set and content as this sibling *)
+  | Discarded_with_ancestor of int
+      (** inside the discarded subtree rooted at this id *)
+
+type decision = { node : int; reason : reason }
+
+val valid_contributor : Node_info.t -> decision list
+(** One decision per raw-RTF node, in document order. *)
+
+val contributor : Node_info.t -> decision list
+(** MaxMatch's mechanism: [Kept_unique_label] and content-based reasons
+    never occur; covering siblings may have any label. *)
+
+val kept : decision -> bool
+
+val reason_to_string : Xks_xml.Tree.t -> reason -> string
+(** Human-readable rendering, naming triggering siblings by Dewey code. *)
+
+val render : Xks_xml.Tree.t -> decision list -> string
+(** One ["dewey (label): reason"] line per decision. *)

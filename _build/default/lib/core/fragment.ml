@@ -1,0 +1,90 @@
+module Tree = Xks_xml.Tree
+module Dewey = Xks_xml.Dewey
+
+type t = { root : int; members : int array }
+
+let make ~root ~members =
+  let members = List.sort_uniq Int.compare (root :: members) in
+  { root; members = Array.of_list members }
+
+let size t = Array.length t.members
+let mem t id = Xks_util.Bsearch.mem t.members id
+let equal a b = a.root = b.root && a.members = b.members
+let members_list t = Array.to_list t.members
+
+let diff_count a b =
+  Array.fold_left (fun acc id -> if mem b id then acc else acc + 1) 0 a.members
+
+(* Children of [id] within the fragment, in document order: members
+   strictly inside [id]'s range whose parent is [id]. *)
+let fragment_children doc t id =
+  let node = Tree.node doc id in
+  let lo = Xks_util.Bsearch.lower_bound t.members (id + 1) in
+  let rec collect i acc =
+    if i >= Array.length t.members then acc
+    else
+      let m = t.members.(i) in
+      if m > node.subtree_end then acc
+      else
+        collect (i + 1)
+          (if (Tree.node doc m).parent = id then m :: acc else acc)
+  in
+  List.rev (collect lo [])
+
+let render doc t =
+  let buf = Buffer.create 256 in
+  let rec go depth id =
+    let node = Tree.node doc id in
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf (Dewey.to_string node.dewey);
+    Buffer.add_string buf " (";
+    Buffer.add_string buf (Tree.label_name doc node);
+    Buffer.add_char buf ')';
+    if node.text <> "" then begin
+      Buffer.add_string buf " '";
+      Buffer.add_string buf node.text;
+      Buffer.add_char buf '\''
+    end;
+    Buffer.add_char buf '\n';
+    List.iter (go (depth + 1)) (fragment_children doc t id)
+  in
+  go 0 t.root;
+  Buffer.contents buf
+
+let to_xml doc t =
+  let buf = Buffer.create 256 in
+  let rec go depth id =
+    let node = Tree.node doc id in
+    let name = Tree.label_name doc node in
+    let pad = String.make (2 * depth) ' ' in
+    Buffer.add_string buf pad;
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (Xks_xml.Writer.escape_attr v);
+        Buffer.add_char buf '"')
+      node.attrs;
+    let children = fragment_children doc t id in
+    if node.text = "" && children = [] then Buffer.add_string buf "/>\n"
+    else begin
+      Buffer.add_string buf ">";
+      if node.text <> "" then
+        Buffer.add_string buf (Xks_xml.Writer.escape_text node.text);
+      if children <> [] then begin
+        Buffer.add_char buf '\n';
+        List.iter (go (depth + 1)) children;
+        Buffer.add_string buf pad
+      end;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_string buf ">\n"
+    end
+  in
+  go 0 t.root;
+  Buffer.contents buf
+
+let pp doc fmt t = Format.pp_print_string fmt (render doc t)

@@ -1,0 +1,15 @@
+(** MaxMatch (Liu & Chen, VLDB 2008) — the paper's baseline.
+
+    Two variants:
+    - {!run_revised} — the "revised MaxMatch" of the paper's footnote 10:
+      SLCA search replaced by the Indexed Stack LCA algorithm (so it works
+      on the same RTFs as ValidRTF) and full upward information transfer;
+      pruning uses the original contributor mechanism.
+    - {!run_original} — the VLDB'08 algorithm: SLCA-rooted fragments only,
+      contributor pruning (A3 ablation). *)
+
+val run_revised : Xks_index.Inverted.t -> string list -> Pipeline.result
+val run_original : Xks_index.Inverted.t -> string list -> Pipeline.result
+
+val run_revised_query : Query.t -> Pipeline.result
+val run_original_query : Query.t -> Pipeline.result

@@ -1,0 +1,103 @@
+module Tree = Xks_xml.Tree
+module Klist = Xks_index.Klist
+module Cid = Xks_index.Cid
+
+type info = {
+  id : int;
+  label : Xks_xml.Label.t;
+  mutable klist : Klist.t;
+  mutable cid : Cid.t;
+  mutable rtf_children : info list;
+}
+
+type t = { root_info : info; by_id : (int, info) Hashtbl.t }
+
+let construct ?(cid_mode = Cid.Approx) (q : Query.t) (rtf : Rtf.t) =
+  let doc = q.doc in
+  let by_id = Hashtbl.create (4 * Array.length rtf.knodes) in
+  let fresh id =
+    {
+      id;
+      label = (Tree.node doc id).label;
+      klist = Klist.empty;
+      cid = Cid.empty;
+      rtf_children = [];
+    }
+  in
+  (* Get-or-create the info of an RTF member, linking it under its parent
+     (which is created on the way to the root). *)
+  let rec obtain id =
+    match Hashtbl.find_opt by_id id with
+    | Some info -> info
+    | None ->
+        let info = fresh id in
+        Hashtbl.add by_id id info;
+        if id <> rtf.lca then begin
+          let parent = obtain (Tree.node doc id).parent in
+          parent.rtf_children <- info :: parent.rtf_children
+        end;
+        info
+  in
+  let transfer id klist cid =
+    (* Push a keyword node's information to itself and every ancestor up
+       to the RTF root (constructing step, lines 5-12). *)
+    let rec up id =
+      let info = obtain id in
+      info.klist <- Klist.union info.klist klist;
+      info.cid <- Cid.merge info.cid cid;
+      if id <> rtf.lca then up (Tree.node doc id).parent
+    in
+    up id
+  in
+  Array.iter
+    (fun kn ->
+      let klist = Query.node_klist q kn in
+      let cid = Cid.of_words cid_mode (Tree.content_words doc (Tree.node doc kn)) in
+      transfer kn klist cid)
+    rtf.knodes;
+  let root_info = obtain rtf.lca in
+  (* Children were prepended as discovered; keyword nodes arrive in
+     document order but path sharing can disorder siblings, so sort. *)
+  Hashtbl.iter
+    (fun _ info ->
+      info.rtf_children <-
+        List.sort (fun a b -> Int.compare a.id b.id) info.rtf_children)
+    by_id;
+  { root_info; by_id }
+
+let root t = t.root_info
+
+type label_group = {
+  group_label : Xks_xml.Label.t;
+  counter : int;
+  chklist : int array;
+  group_children : info list;
+}
+
+let label_groups info =
+  let order = ref [] in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (child : info) ->
+      match Hashtbl.find_opt groups child.label with
+      | Some members -> members := child :: !members
+      | None ->
+          Hashtbl.add groups child.label (ref [ child ]);
+          order := child.label :: !order)
+    info.rtf_children;
+  List.rev_map
+    (fun label ->
+      let members = List.rev !(Hashtbl.find groups label) in
+      let chklist =
+        List.map (fun (i : info) -> i.klist) members
+        |> List.sort_uniq Int.compare |> Array.of_list
+      in
+      {
+        group_label = label;
+        counter = List.length members;
+        chklist;
+        group_children = members;
+      })
+    !order
+
+let info_of t id = Hashtbl.find_opt t.by_id id

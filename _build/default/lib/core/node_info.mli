@@ -1,0 +1,48 @@
+(** The node data structure of paper section 4.1, and the constructing
+    step of [pruneRTF].
+
+    For each node of a raw RTF we keep its "Self Info" — Dewey code,
+    label, [kList] (tree keyword set as a key number) and [cID] (content
+    feature of its tree content set) — and its "Children Info": the RTF
+    children grouped by distinct label, each group carrying the sorted
+    distinct key numbers ([chkList]) and the children's cIDs, which is
+    everything Definition 4 needs.
+
+    The constructing step starts from each keyword node, fills its self
+    info from the document, and transfers it to every ancestor up to the
+    RTF root (the paper's lines 5–12, including the line 11–12 fix that
+    pushes the information all the way up). *)
+
+type info = private {
+  id : int;
+  label : Xks_xml.Label.t;
+  mutable klist : Xks_index.Klist.t;  (** tree keyword set (key number) *)
+  mutable cid : Xks_index.Cid.t;  (** feature of the tree content set *)
+  mutable rtf_children : info list;  (** children within the RTF, document order *)
+}
+
+type t
+(** The constructed info tree for one RTF. *)
+
+val construct : ?cid_mode:Xks_index.Cid.mode -> Query.t -> Rtf.t -> t
+(** Build the info tree of a raw RTF: one {!info} per RTF member (keyword
+    nodes and connecting path nodes), with [klist]/[cid] aggregated bottom
+    up.  Keyword-node contents are read from the document; path nodes
+    contribute no content of their own (the paper's tree content set only
+    unions {e keyword} nodes). *)
+
+val root : t -> info
+
+type label_group = {
+  group_label : Xks_xml.Label.t;
+  counter : int;  (** number of children with this label *)
+  chklist : int array;  (** sorted distinct key numbers of the group *)
+  group_children : info list;  (** document order *)
+}
+
+val label_groups : info -> label_group list
+(** The "Children Info" of a node: its RTF children grouped by label, in
+    order of first appearance. *)
+
+val info_of : t -> int -> info option
+(** Look up the info of an RTF member by node id. *)

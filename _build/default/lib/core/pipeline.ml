@@ -1,0 +1,59 @@
+type lca_algorithm = Elca_indexed_stack | Elca_tree_scan | Slca_only
+type pruning = Valid_contributor | Contributor | No_pruning
+
+type result = {
+  query : Query.t;
+  lcas : int list;
+  rtfs : Rtf.t list;
+  fragments : Fragment.t list;
+}
+
+let get_lcas lca (q : Query.t) =
+  if not (Query.has_results q) then []
+  else
+    match lca with
+    | Elca_indexed_stack -> Xks_lca.Indexed_stack.elca q.doc q.postings
+    | Elca_tree_scan -> Xks_lca.Tree_scan.elca q.doc q.postings
+    | Slca_only -> Xks_lca.Slca.indexed_lookup_eager q.doc q.postings
+
+(* Prune every RTF, optionally striping the work over several domains;
+   pruning touches only immutable query state and RTF-local tables, so
+   the parallel run is observationally identical. *)
+let prune_all ?cid_mode ~domains q pruning rtfs =
+  let prune rtf =
+    let info = Node_info.construct ?cid_mode q rtf in
+    match pruning with
+    | Valid_contributor -> Prune.valid_contributor info
+    | Contributor -> Prune.contributor info
+    | No_pruning -> Prune.keep_all info
+  in
+  let n = List.length rtfs in
+  if domains <= 1 || n < 2 * domains then List.map prune rtfs
+  else begin
+    let input = Array.of_list rtfs in
+    let output = Array.make n None in
+    let worker stripe () =
+      let i = ref stripe in
+      while !i < n do
+        output.(!i) <- Some (prune input.(!i));
+        i := !i + domains
+      done
+    in
+    let spawned =
+      List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function Some f -> f | None -> assert false (* all stripes ran *))
+         output)
+  end
+
+let run_query ?cid_mode ?(domains = 1) ~lca ~pruning q =
+  let lcas = get_lcas lca q in
+  let rtfs = Rtf.get_rtfs q lcas in
+  { query = q; lcas; rtfs; fragments = prune_all ?cid_mode ~domains q pruning rtfs }
+
+let run ?cid_mode ~lca ~pruning idx ws =
+  run_query ?cid_mode ~lca ~pruning (Query.make idx ws)

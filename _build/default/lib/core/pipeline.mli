@@ -1,0 +1,36 @@
+(** The four-stage skeleton shared by ValidRTF and MaxMatch.
+
+    Algorithm 1's shape: [getKeywordNodes] (the prepared {!Query}), a
+    [getLCA] stage, [getRTF], and a pruning stage.  {!Validrtf} and
+    {!Maxmatch} instantiate the two varying stages. *)
+
+type lca_algorithm =
+  | Elca_indexed_stack  (** all interesting LCA nodes (the paper) *)
+  | Elca_tree_scan  (** same semantics by full tree scan (A2 ablation) *)
+  | Slca_only  (** SLCA nodes only (original MaxMatch) *)
+
+type pruning =
+  | Valid_contributor  (** Definition 4 (ValidRTF) *)
+  | Contributor  (** MaxMatch's mechanism *)
+  | No_pruning  (** raw RTFs *)
+
+type result = {
+  query : Query.t;
+  lcas : int list;  (** document order *)
+  rtfs : Rtf.t list;
+  fragments : Fragment.t list;  (** one per LCA, same order *)
+}
+
+val run_query :
+  ?cid_mode:Xks_index.Cid.mode -> ?domains:int -> lca:lca_algorithm ->
+  pruning:pruning -> Query.t -> result
+(** [domains] (default 1) prunes the RTFs on that many OCaml domains in
+    parallel — pruning is per-RTF-local, so this is safe; it pays off on
+    queries with many RTFs (high-frequency keywords).  Results are
+    identical to the sequential run. *)
+
+val run :
+  ?cid_mode:Xks_index.Cid.mode -> lca:lca_algorithm -> pruning:pruning ->
+  Xks_index.Inverted.t -> string list -> result
+(** [run idx ws] prepares the query and calls {!run_query}.
+    @raise Invalid_argument as {!Query.make}. *)

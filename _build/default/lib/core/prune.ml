@@ -1,0 +1,70 @@
+module Klist = Xks_index.Klist
+module Cid = Xks_index.Cid
+
+(* Children of [info] surviving Definition 4, document order preserved
+   within each label group.
+
+   Note a deliberate deviation from the paper's pseudocode: Algorithm 1
+   keeps one [usedCIDs] set per label group, which would also discard a
+   child whose content feature collides with a sibling of a {e
+   different} keyword set; Definition 4's rule 2(b) compares contents
+   only among siblings with {e equal} keyword sets, so content features
+   are tracked per keyword set here.  EXPERIMENTS.md discusses the
+   discrepancy; test_prune.ml pins the behaviour. *)
+let valid_children (info : Node_info.info) =
+  let keep_of_group (g : Node_info.label_group) =
+    if g.counter = 1 then g.group_children
+    else begin
+      let used_cids_by_knum = Hashtbl.create 4 in
+      let cid_used knum c =
+        match Hashtbl.find_opt used_cids_by_knum knum with
+        | Some cids -> List.exists (Cid.equal c) !cids
+        | None -> false
+      in
+      let record knum c =
+        match Hashtbl.find_opt used_cids_by_knum knum with
+        | Some cids -> cids := c :: !cids
+        | None -> Hashtbl.add used_cids_by_knum knum (ref [ c ])
+      in
+      List.filter
+        (fun (ch : Node_info.info) ->
+          if Hashtbl.mem used_cids_by_knum ch.klist then
+            if cid_used ch.klist ch.cid then false
+            else begin
+              record ch.klist ch.cid;
+              true
+            end
+          else if Klist.covered_by_any ch.klist g.chklist then false
+          else begin
+            record ch.klist ch.cid;
+            true
+          end)
+        g.group_children
+    end
+  in
+  List.concat_map keep_of_group (Node_info.label_groups info)
+
+(* Children surviving MaxMatch's contributor test: no sibling (any label)
+   with a strictly larger keyword set. *)
+let contributor_children (info : Node_info.info) =
+  let all_knums =
+    List.map (fun (c : Node_info.info) -> c.klist) info.rtf_children
+    |> List.sort_uniq Int.compare |> Array.of_list
+  in
+  List.filter
+    (fun (ch : Node_info.info) -> not (Klist.covered_by_any ch.klist all_knums))
+    info.rtf_children
+
+let collect select t =
+  let members = ref [] in
+  let rec go (info : Node_info.info) =
+    members := info.id :: !members;
+    List.iter go (select info)
+  in
+  let root = Node_info.root t in
+  go root;
+  Fragment.make ~root:root.id ~members:!members
+
+let valid_contributor t = collect valid_children t
+let contributor t = collect contributor_children t
+let keep_all t = collect (fun (i : Node_info.info) -> i.rtf_children) t

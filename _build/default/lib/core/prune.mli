@@ -1,0 +1,27 @@
+(** Pruning raw RTFs into meaningful fragments.
+
+    Two filtering mechanisms over the constructed {!Node_info} tree:
+
+    - {!valid_contributor} — the paper's contribution (Definition 4,
+      pruning step of Algorithm 1).  Children are grouped by label; a
+      single child of its label is always kept (rule 1); within a larger
+      group a child is discarded when a sibling's keyword set strictly
+      covers its ([chkList] check, rule 2a) and duplicate
+      keyword-set/content-feature combinations keep only their first
+      representative (rule 2b).
+    - {!contributor} — MaxMatch's mechanism (Liu & Chen, VLDB 2008): a
+      child is discarded iff {e any} sibling, regardless of label, has a
+      strictly larger keyword set.  No content comparison.
+
+    Pruning is top-down (breadth-first in the paper; the order is
+    irrelevant as decisions only depend on parent-local information):
+    discarding a child removes its whole subtree. *)
+
+val valid_contributor : Node_info.t -> Fragment.t
+(** Meaningful RTF per the valid-contributor mechanism. *)
+
+val contributor : Node_info.t -> Fragment.t
+(** Fragment pruned with MaxMatch's contributor mechanism. *)
+
+val keep_all : Node_info.t -> Fragment.t
+(** No pruning: the raw RTF as a fragment (for metrics and tests). *)

@@ -1,0 +1,81 @@
+module Tokenizer = Xks_xml.Tokenizer
+module Klist = Xks_index.Klist
+
+type t = {
+  doc : Xks_xml.Tree.t;
+  keywords : string array;
+  postings : int array array;
+}
+
+let make idx ws =
+  let seen = Hashtbl.create 8 in
+  let keywords =
+    (* Each argument may carry several words ("xml search"); split into
+       tokens (stop words kept — a user typing one deserves the empty
+       posting, not a silently changed query). *)
+    List.concat_map (Tokenizer.words ~keep_stopwords:true) ws
+    |> List.filter_map (fun w ->
+           if Hashtbl.mem seen w then None
+           else begin
+             Hashtbl.add seen w ();
+             Some w
+           end)
+  in
+  if keywords = [] then invalid_arg "Query.make: empty query";
+  if List.length keywords > Klist.max_keywords then
+    invalid_arg "Query.make: too many keywords";
+  let keywords = Array.of_list keywords in
+  let postings =
+    Array.map (fun w -> Xks_index.Inverted.posting idx w) keywords
+  in
+  { doc = Xks_index.Inverted.doc idx; keywords; postings }
+
+let of_postings doc ~keywords postings =
+  if keywords = [] then invalid_arg "Query.of_postings: empty query";
+  if List.length keywords <> Array.length postings then
+    invalid_arg "Query.of_postings: arity mismatch";
+  if List.length (List.sort_uniq String.compare keywords) <> List.length keywords
+  then invalid_arg "Query.of_postings: duplicate keyword";
+  if List.exists (fun w -> w = "") keywords then
+    invalid_arg "Query.of_postings: empty keyword";
+  let n = Xks_xml.Tree.size doc in
+  Array.iter
+    (fun posting ->
+      Array.iteri
+        (fun i id ->
+          if id < 0 || id >= n then
+            invalid_arg "Query.of_postings: id out of range";
+          if i > 0 && posting.(i - 1) >= id then
+            invalid_arg "Query.of_postings: posting not sorted")
+        posting)
+    postings;
+  { doc; keywords = Array.of_list keywords; postings }
+
+let k q = Array.length q.keywords
+let has_results q = Array.for_all (fun s -> Array.length s > 0) q.postings
+
+let keyword_index q w =
+  let w = Tokenizer.normalize w in
+  let rec loop i =
+    if i = Array.length q.keywords then None
+    else if String.equal q.keywords.(i) w then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let node_klist q id =
+  let k = k q in
+  let mask = ref Klist.empty in
+  Array.iteri
+    (fun i posting ->
+      if Xks_util.Bsearch.mem posting id then
+        mask := Klist.union !mask (Klist.singleton ~k i))
+    q.postings;
+  !mask
+
+let pp fmt q =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_seq
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       Format.pp_print_string)
+    (Array.to_seq q.keywords)

@@ -1,0 +1,46 @@
+(** Prepared keyword queries.
+
+    A query [Q = {w1 .. wk}] bound to a document and its inverted index:
+    keywords are normalised, deduplicated (keeping first occurrences), and
+    their posting lists fetched.  All downstream stages (getLCA, getRTF,
+    pruning) work off this value. *)
+
+type t = private {
+  doc : Xks_xml.Tree.t;
+  keywords : string array;  (** normalised, distinct, in query order *)
+  postings : int array array;  (** one sorted id array per keyword *)
+}
+
+val make : Xks_index.Inverted.t -> string list -> t
+(** [make idx ws] prepares the query [ws] against [idx].  Every input
+    string is tokenised (so ["xml search"] contributes two keywords) and
+    duplicates are dropped, keeping first occurrences.
+    @raise Invalid_argument if no keyword remains after tokenisation and
+    deduplication, or if there are more than {!Xks_index.Klist.max_keywords}
+    distinct keywords. *)
+
+val of_postings :
+  Xks_xml.Tree.t -> keywords:string list -> int array array -> t
+(** [of_postings doc ~keywords postings] builds a query whose posting
+    lists were computed elsewhere (e.g. filtered by {!Labeled} conditions
+    or fetched via {!Xks_index.Rel_store}).  Keywords must be distinct and
+    non-empty; each posting list must be sorted, duplicate-free and
+    reference ids of [doc].
+    @raise Invalid_argument when those conditions fail or the arities
+    differ. *)
+
+val k : t -> int
+(** Number of (distinct) keywords. *)
+
+val has_results : t -> bool
+(** [false] iff some keyword never occurs in the document — then every
+    LCA-based semantics returns the empty result. *)
+
+val keyword_index : t -> string -> int option
+(** Position of a (normalised) keyword in the query. *)
+
+val node_klist : t -> int -> Xks_index.Klist.t
+(** [node_klist q id] is the bitset of query keywords occurring in node
+    [id]'s own content (by posting-list membership). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+module Tree = Xks_xml.Tree
+module Dewey = Xks_xml.Dewey
+
+type scored = { fragment : Fragment.t; rtf : Rtf.t; score : float }
+
+let score (q : Query.t) (rtf : Rtf.t) frag =
+  let root = Tree.node q.doc rtf.lca in
+  let depth = float_of_int (Dewey.depth root.dewey) in
+  let knode_count =
+    Array.fold_left
+      (fun acc kn -> if Fragment.mem frag kn then acc + 1 else acc)
+      0 rtf.knodes
+  in
+  let density =
+    float_of_int knode_count /. float_of_int (max 1 (Fragment.size frag))
+  in
+  let coverage = log (1.0 +. float_of_int knode_count) in
+  (1.0 +. depth) *. density *. (1.0 +. coverage)
+
+let sort_scored scored =
+  List.sort
+    (fun a b ->
+      let c = Float.compare b.score a.score in
+      if c <> 0 then c else Int.compare a.rtf.lca b.rtf.lca)
+    scored
+
+let rank_by scorer (result : Pipeline.result) =
+  List.map2
+    (fun rtf fragment ->
+      { fragment; rtf; score = scorer result.query rtf fragment })
+    result.rtfs result.fragments
+  |> sort_scored
+
+let rank result = rank_by score result
+
+let score_with_prior prior (q : Query.t) (rtf : Rtf.t) frag =
+  let structural =
+    Elemrank.score prior rtf.lca *. float_of_int (Tree.size q.doc)
+  in
+  score q rtf frag *. structural
+
+let rank_with_prior prior result = rank_by (score_with_prior prior) result

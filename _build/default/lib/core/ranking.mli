@@ -1,0 +1,27 @@
+(** Ranking of meaningful RTFs (the paper's stated future work).
+
+    A simple, deterministic scorer so applications can order the returned
+    fragments.  The score of a fragment combines:
+    - {b depth}: deeper (more specific) LCA roots score higher, following
+      the SLCA intuition that tighter fragments are more relevant;
+    - {b keyword density}: keyword nodes per fragment node — fragments
+      padded with structural nodes rank below compact ones;
+    - {b coverage}: fragments whose root gathers many distinct keyword
+      occurrences rank above minimal witnesses. *)
+
+type scored = { fragment : Fragment.t; rtf : Rtf.t; score : float }
+
+val score : Query.t -> Rtf.t -> Fragment.t -> float
+(** Deterministic score in [(0, +inf)]; higher is better. *)
+
+val rank : Pipeline.result -> scored list
+(** Fragments of a result, sorted by decreasing score; ties broken by
+    document order of the fragment root. *)
+
+val score_with_prior : Elemrank.t -> Query.t -> Rtf.t -> Fragment.t -> float
+(** {!score} multiplied by the fragment root's {!Elemrank} structural
+    importance (scaled by the document size so the factor is ~1 for an
+    average node). *)
+
+val rank_with_prior : Elemrank.t -> Pipeline.result -> scored list
+(** As {!rank} under {!score_with_prior}. *)

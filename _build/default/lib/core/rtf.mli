@@ -1,0 +1,27 @@
+(** Relaxed Tightest Fragments — the [getRTF] stage of Algorithm 1.
+
+    Given the interesting LCA nodes (from [getLCA]) in document order,
+    every keyword node is dispatched to the {e deepest} LCA node that is
+    its ancestor-or-self ("the last RTF in LCAs whose root is the ancestor
+    of or the same as d").  Keyword nodes under no LCA node belong to no
+    partition and are dropped.  The raw RTF of an LCA node is then its
+    keyword nodes plus all nodes on the paths to the LCA root — the
+    fragments Definition 2 characterises. *)
+
+type t = {
+  lca : int;  (** id of the RTF's LCA root *)
+  knodes : int array;  (** sorted ids of the keyword nodes dispatched here *)
+}
+
+val get_rtfs : Query.t -> int list -> t list
+(** [get_rtfs q lcas] dispatches the keyword nodes of [q] over the
+    document-ordered LCA ids [lcas].  RTFs come back in document order of
+    their LCA; an LCA that receives no keyword node yields an RTF with an
+    empty [knodes] (cannot happen when [lcas] are full containers). *)
+
+val raw_fragment : Query.t -> t -> Fragment.t
+(** The unpruned RTF: keyword nodes plus connecting paths up to the
+    LCA. *)
+
+val keyword_node_ids : Query.t -> int array
+(** All keyword nodes of the query (union of posting lists), sorted. *)

@@ -1,0 +1,23 @@
+(** Query-biased snippets for result fragments.
+
+    A compact textual summary of a fragment, in the spirit of the
+    query-biased snippet generation the paper cites as related work
+    (Huang, Liu & Chen, SIGMOD 2008): for every query keyword, the
+    snippet shows a small window of the text surrounding one occurrence
+    inside the fragment, with the keyword highlighted.  Windows keep stop
+    words (dropping them reads badly) and are joined with ellipses. *)
+
+val of_fragment :
+  ?window:int -> ?highlight:(string -> string) -> Query.t -> Fragment.t ->
+  string
+(** [of_fragment q frag] builds the snippet.  [window] is the number of
+    context words kept on each side of a keyword occurrence (default 3);
+    [highlight] wraps each matched keyword (default brackets, ["[xml]"]).
+    Keywords matched only by a label or attribute fall back to a
+    ["label: text"] rendering of that node.  Returns [""] for fragments
+    containing no keyword occurrence (cannot happen for RTFs). *)
+
+val for_hits :
+  ?window:int -> ?highlight:(string -> string) -> Query.t ->
+  Fragment.t list -> string list
+(** Snippets for a result list, one per fragment. *)

@@ -1,0 +1,31 @@
+(** Executable specification of Definitions 1 and 2.
+
+    Definition 1 (ECTQ) enumerates every combination of non-empty subsets
+    of the keyword-node sets [D1 .. Dk]; Definition 2 keeps the
+    combinations that are RTF partitions.  The enumeration is exponential
+    and only meant as a test oracle on tiny documents — the analysis in
+    the paper's Section 4.3(1) claims [getRTF] over the interesting LCA
+    nodes computes exactly these partitions, and the test suite checks
+    that claim on the paper's examples and on random small trees. *)
+
+val ectq : Query.t -> int list list
+(** All distinct elements of ECTQ, each a sorted list of keyword-node
+    ids.  Distinct subset choices with equal unions are identified (the
+    paper counts 11, not 21, in Example 3 for the same reason). *)
+
+val rtf_partitions : Query.t -> (int * int list) list
+(** The partitions of {!ectq} satisfying the three conditions of
+    Definition 2, as [(lca_id, sorted keyword-node ids)] pairs in document
+    order of the LCA.  [Invalid_argument] is raised when the enumeration
+    would exceed {!max_combinations} — keep test inputs tiny.
+
+    One repair to the paper: taken literally, condition 2 contradicts
+    Example 4 ({[{n, t, a}]} can be grown by [r] without changing its LCA,
+    yet the paper declares it an RTF).  Following the Section 4.3
+    analysis, growth candidates whose own deepest full container lies
+    strictly below the partition's LCA — nodes claimed by a deeper
+    partition — are excluded from the maximality test.  EXPERIMENTS.md
+    discusses the discrepancy. *)
+
+val max_combinations : int
+(** Safety bound on the ECTQ size the oracle will enumerate. *)

@@ -1,0 +1,50 @@
+module Klist = Xks_index.Klist
+
+type t = { node_count : int; df : string -> int }
+
+let build idx =
+  {
+    node_count = Xks_xml.Tree.size (Xks_index.Inverted.doc idx);
+    df = Xks_index.Inverted.node_count idx;
+  }
+
+let idf t w =
+  let df = t.df (Xks_xml.Tokenizer.normalize w) in
+  log (float_of_int (t.node_count + 1) /. float_of_int (df + 1)) +. 1.0
+
+let fragment_score t (q : Query.t) (rtf : Rtf.t) frag =
+  let k = Query.k q in
+  (* Term frequency: how many surviving keyword nodes match each query
+     keyword. *)
+  let tf = Array.make k 0 in
+  Array.iter
+    (fun kn ->
+      if Fragment.mem frag kn then
+        List.iter
+          (fun i -> tf.(i) <- tf.(i) + 1)
+          (Klist.to_indices ~k (Query.node_klist q kn)))
+    rtf.knodes;
+  let raw = ref 0.0 in
+  Array.iteri
+    (fun i count ->
+      if count > 0 then
+        raw := !raw +. (float_of_int count *. idf t q.keywords.(i)))
+    tf;
+  !raw /. (1.0 +. log (float_of_int (max 1 (Fragment.size frag))))
+
+let rank t (result : Pipeline.result) =
+  let scored =
+    List.map2
+      (fun rtf fragment ->
+        {
+          Ranking.fragment;
+          rtf;
+          score = fragment_score t result.query rtf fragment;
+        })
+      result.rtfs result.fragments
+  in
+  List.sort
+    (fun (a : Ranking.scored) b ->
+      let c = Float.compare b.score a.score in
+      if c <> 0 then c else Int.compare a.rtf.lca b.rtf.lca)
+    scored

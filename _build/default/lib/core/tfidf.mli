@@ -1,0 +1,27 @@
+(** TF·IDF relevance for result fragments.
+
+    A corpus-statistics scorer in the XRank/XSearch tradition,
+    complementing {!Ranking}'s structural score: each query keyword
+    contributes (occurrences of the keyword among the fragment's keyword
+    nodes) × (inverse node frequency of the keyword in the document),
+    dampened by fragment size so huge fragments do not win on bulk.
+    Rare query keywords therefore dominate the ordering — the behaviour
+    users expect from text retrieval. *)
+
+type t
+(** Corpus statistics (node counts per word). *)
+
+val build : Xks_index.Inverted.t -> t
+
+val idf : t -> string -> float
+(** [ln ((N + 1) / (df + 1)) + 1 > 0], with [df] the number of nodes
+    containing the (normalised) word and [N] the document's node
+    count. *)
+
+val fragment_score : t -> Query.t -> Rtf.t -> Fragment.t -> float
+(** TF·IDF over the fragment's surviving keyword nodes, divided by
+    [1 + ln (fragment size)].  0 when no keyword node survives. *)
+
+val rank : t -> Pipeline.result -> Ranking.scored list
+(** Fragments sorted by decreasing {!fragment_score} (ties by document
+    order). *)

@@ -1,0 +1,5 @@
+let run_query ?cid_mode q =
+  Pipeline.run_query ?cid_mode ~lca:Elca_indexed_stack
+    ~pruning:Valid_contributor q
+
+let run ?cid_mode idx ws = run_query ?cid_mode (Query.make idx ws)

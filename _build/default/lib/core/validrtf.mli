@@ -1,0 +1,16 @@
+(** ValidRTF — Algorithm 1 of the paper.
+
+    Retrieves the meaningful RTFs of a keyword query: all interesting LCA
+    nodes via the Indexed Stack algorithm, their RTFs via keyword-node
+    dispatch, and valid-contributor pruning (Definition 4) of each RTF. *)
+
+val run :
+  ?cid_mode:Xks_index.Cid.mode -> Xks_index.Inverted.t -> string list ->
+  Pipeline.result
+(** [run idx ws] executes ValidRTF for query [ws].  [cid_mode] selects the
+    paper's [(min, max)] content feature (default) or the exact content
+    sets (A1 ablation).
+    @raise Invalid_argument as {!Query.make}. *)
+
+val run_query : ?cid_mode:Xks_index.Cid.mode -> Query.t -> Pipeline.result
+(** As {!run} on a prepared query (what the benchmarks time). *)

@@ -1,0 +1,1 @@
+lib/datagen/dblp_gen.mli: Xks_xml

@@ -1,0 +1,1 @@
+lib/datagen/paper_fixtures.ml: Xks_xml

@@ -1,0 +1,1 @@
+lib/datagen/paper_fixtures.mli: Xks_xml

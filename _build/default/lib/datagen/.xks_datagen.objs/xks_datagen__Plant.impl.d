@@ -1,0 +1,1 @@
+lib/datagen/plant.ml: Array List Rng

@@ -1,0 +1,1 @@
+lib/datagen/plant.mli: Rng

@@ -1,0 +1,1 @@
+lib/datagen/vocab.mli: Rng

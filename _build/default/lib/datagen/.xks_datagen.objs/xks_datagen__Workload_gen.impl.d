@@ -1,0 +1,1 @@
+lib/datagen/workload_gen.ml: Array Int List Rng String Xks_index

@@ -1,0 +1,1 @@
+lib/datagen/workload_gen.mli: Xks_index

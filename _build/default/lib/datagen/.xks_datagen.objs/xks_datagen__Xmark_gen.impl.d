@@ -1,0 +1,1 @@
+lib/datagen/xmark_gen.ml: Array List Plant Printf Rng String Vocab Xks_xml

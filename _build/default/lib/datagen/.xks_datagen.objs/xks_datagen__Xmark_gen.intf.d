@@ -1,0 +1,1 @@
+lib/datagen/xmark_gen.mli: Xks_xml

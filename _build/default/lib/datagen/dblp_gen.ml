@@ -1,0 +1,88 @@
+open Xks_xml.Tree
+
+let keywords =
+  [
+    ("keyword", 90); ("similarity", 1242); ("recognition", 6447);
+    ("algorithm", 14181); ("data", 25840); ("probabilistic", 2284);
+    ("xml", 2121); ("dynamic", 7281); ("sigmod", 3983); ("tree", 3549);
+    ("query", 3560); ("automata", 3337); ("pattern", 6513);
+    ("retrieval", 5111); ("efficient", 8279); ("understanding", 1450);
+    ("searching", 4618); ("vldb", 2313); ("henry", 1322);
+    ("semantics", 3694);
+  ]
+
+type config = { seed : int; entries : int; scale : float }
+
+let default_config = { seed = 42; entries = 12000; scale = 0.05 }
+
+let planted_counts config =
+  List.map (fun (w, f) -> (w, Plant.scaled_count ~scale:config.scale f)) keywords
+
+type entry = {
+  kind : string;  (* "article" or "inproceedings" *)
+  authors : string list ref;  (* "first last" strings *)
+  title : string list ref;
+  venue : string list ref;
+  year : int;
+  pages : string;
+}
+
+let venues =
+  [|
+    "icde"; "edbt"; "cikm"; "www"; "kdd"; "icml"; "sigir"; "pods"; "dasfaa";
+    "tods"; "tkde"; "jacm"; "ipl"; "dke";
+  |]
+
+let generate ?(config = default_config) () =
+  let rng = Rng.create config.seed in
+  let keyword_names = List.map fst keywords in
+  let title_vocab =
+    Plant.filter_keywords keyword_names
+      (Array.append Vocab.cs_terms Vocab.common)
+  in
+  let title_sampler = Vocab.sampler title_vocab in
+  let first_names = Plant.filter_keywords keyword_names Vocab.first_names in
+  let make_entry _ =
+    let author () =
+      Rng.pick rng first_names ^ " " ^ Rng.pick rng Vocab.last_names
+    in
+    let n_authors = 1 + Rng.int rng 3 in
+    let n_title = 4 + Rng.int rng 6 in
+    let p1 = 1 + Rng.int rng 400 in
+    {
+      kind = (if Rng.bool rng then "article" else "inproceedings");
+      authors = ref (List.init n_authors (fun _ -> author ()));
+      title =
+        ref (List.init n_title (fun _ -> Vocab.sample title_sampler rng));
+      venue = ref [ Rng.pick rng venues ];
+      year = 1990 + Rng.int rng 20;
+      pages = Printf.sprintf "%d-%d" p1 (p1 + 1 + Rng.int rng 30);
+    }
+  in
+  let entries = Array.init config.entries make_entry in
+  (* Plant the query keywords at their scaled frequencies. *)
+  let title_slots = Array.map (fun e -> e.title) entries in
+  let venue_slots = Array.map (fun e -> e.venue) entries in
+  List.iter
+    (fun (w, count) ->
+      match w with
+      | "henry" ->
+          for _ = 1 to count do
+            let e = Rng.pick rng entries in
+            e.authors := ("henry " ^ Rng.pick rng Vocab.last_names) :: !(e.authors)
+          done
+      | "sigmod" | "vldb" -> Plant.inject rng ~slots:venue_slots w count
+      | _ -> Plant.inject rng ~slots:title_slots w count)
+    (planted_counts config);
+  let entry_builder e =
+    let venue_label = if e.kind = "article" then "journal" else "booktitle" in
+    elem e.kind
+      (List.map (fun a -> elem ~text:a "author" []) !(e.authors)
+      @ [
+          elem ~text:(String.concat " " !(e.title)) "title" [];
+          elem ~text:(string_of_int e.year) "year" [];
+          elem ~text:(String.concat " " !(e.venue)) venue_label [];
+          elem ~text:e.pages "pages" [];
+        ])
+  in
+  build (elem "dblp" (Array.to_list (Array.map entry_builder entries)))

@@ -1,0 +1,31 @@
+(** DBLP-shaped synthetic corpus.
+
+    Stands in for the paper's real [dblp20040213] (197.6 MB): a flat
+    [dblp] root with [article]/[inproceedings] entries carrying authors,
+    title, year, venue and pages — the tree shape that makes DBLP's RTFs
+    "self-complete" in the paper's Figure 6(a) discussion (APR' = 0).
+
+    The paper's 20 query keywords are planted at the paper's measured
+    frequencies times [scale]; ["henry"] is planted as an author first
+    name and ["sigmod"]/["vldb"] as venue words, everything else as title
+    words, mirroring where those words live in real DBLP. *)
+
+val keywords : (string * int) list
+(** The paper's DBLP keywords with their frequencies in [dblp20040213]
+    (Section 5.1), e.g. [("keyword", 90); ("data", 25840); ...]. *)
+
+type config = {
+  seed : int;
+  entries : int;  (** number of bibliography entries *)
+  scale : float;  (** keyword-frequency scale vs the paper's corpus *)
+}
+
+val default_config : config
+(** [seed = 42], [entries = 12000], [scale = 0.05] (~2 MB of XML;
+    keyword frequencies at 1/20 keep the rare keywords above one
+    occurrence so the RTF-count curves keep the paper's variation). *)
+
+val generate : ?config:config -> unit -> Xks_xml.Tree.t
+
+val planted_counts : config -> (string * int) list
+(** Exact occurrence count planted for each keyword under a config. *)

@@ -1,0 +1,94 @@
+open Xks_xml.Tree
+
+let publications () =
+  build
+    (elem "Publications"
+       [
+         (* 0.0 *)
+         elem ~text:"VLDB" "title" [];
+         (* 0.1 — keyword-free filler, not named in the paper *)
+         elem ~text:"2008" "year" [];
+         (* 0.2 *)
+         elem "Articles"
+           [
+             (* 0.2.0 *)
+             elem "article"
+               [
+                 elem "authors"
+                   [
+                     elem "author" [ elem ~text:"Ziyang Liu" "name" [] ];
+                     elem "author" [ elem ~text:"Yi Chen" "name" [] ];
+                   ];
+                 (* 0.2.0.1 *)
+                 elem ~text:"Relevant Match for XML Keyword Search" "title" [];
+                 (* 0.2.0.2 *)
+                 elem
+                   ~text:
+                     "We study effective XML keyword search and identify \
+                      relevant matches with axiomatic properties."
+                   "abstract" [];
+                 (* 0.2.0.3 *)
+                 elem "references"
+                   [
+                     elem
+                       ~text:"Liu: ranking for XML keyword search engines."
+                       "ref" [];
+                   ];
+               ];
+             (* 0.2.1 *)
+             elem "article"
+               [
+                 elem "authors"
+                   [
+                     elem "author"
+                       [ elem ~text:"Raymond Chi-Wing Wong" "name" [] ];
+                     elem "author" [ elem ~text:"Ada Wai-Chee Fu" "name" [] ];
+                   ];
+                 (* 0.2.1.1 *)
+                 elem
+                   ~text:
+                     "Efficient Skyline Query Processing with Variable User \
+                      Preferences on Nominal Attributes"
+                   "title" [];
+                 (* 0.2.1.2 *)
+                 elem
+                   ~text:
+                     "A dynamic skyline query returns interesting points \
+                      with user preferences."
+                   "abstract" [];
+               ];
+           ];
+       ])
+
+let team () =
+  build
+    (elem "team"
+       [
+         (* 0.0 *)
+         elem ~text:"Grizzlies" "name" [];
+         (* 0.1 *)
+         elem "players"
+           [
+             elem "player"
+               [
+                 elem ~text:"Gassol" "name" [];
+                 elem ~text:"forward" "position" [];
+               ];
+             elem "player"
+               [
+                 elem ~text:"Miller" "name" [];
+                 elem ~text:"guard" "position" [];
+               ];
+             elem "player"
+               [
+                 elem ~text:"Jones" "name" [];
+                 elem ~text:"forward" "position" [];
+               ];
+           ];
+       ])
+
+let q1 = [ "wong"; "fu"; "dynamic"; "skyline"; "query" ]
+let q2 = [ "liu"; "keyword" ]
+let q3 = [ "vldb"; "title"; "xml"; "keyword"; "search" ]
+let q4 = [ "grizzlies"; "position" ]
+let q5 = [ "gassol"; "position" ]

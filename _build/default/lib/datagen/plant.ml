@@ -1,0 +1,13 @@
+let scaled_count ~scale f =
+  max 1 (int_of_float ((float_of_int f *. scale) +. 0.5))
+
+let filter_keywords kws vocab =
+  let drop w = List.mem w kws in
+  Array.of_list (List.filter (fun w -> not (drop w)) (Array.to_list vocab))
+
+let inject rng ~slots w c =
+  if Array.length slots = 0 then invalid_arg "Plant.inject: no slots";
+  for _ = 1 to c do
+    let slot = slots.(Rng.int rng (Array.length slots)) in
+    slot := w :: !slot
+  done

@@ -1,0 +1,20 @@
+(** Keyword planting shared by the corpus generators.
+
+    The paper selects query keywords by their measured frequencies in the
+    real datasets; our synthetic corpora reproduce those frequencies
+    (scaled) by planting each keyword into randomly chosen text slots
+    after the base document is generated.  The filler vocabulary is
+    filtered so planted words never collide with random draws and the
+    final counts are exact. *)
+
+val scaled_count : scale:float -> int -> int
+(** [scaled_count ~scale f] is [max 1 (round (f * scale))]: scaling keeps
+    every keyword present. *)
+
+val filter_keywords : string list -> string array -> string array
+(** Remove the given (normalised) keywords from a vocabulary array. *)
+
+val inject : Rng.t -> slots:string list ref array -> string -> int -> unit
+(** [inject rng ~slots w c] appends [c] occurrences of [w] into randomly
+    chosen slots (a slot is a mutable word list, e.g. one title's
+    words). *)

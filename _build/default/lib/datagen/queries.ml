@@ -1,0 +1,47 @@
+type workload = { name : string; queries : (string * string list) list }
+
+let dblp_abbreviations =
+  [
+    ('k', "keyword"); ('s', "similarity"); ('r', "recognition");
+    ('a', "algorithm"); ('d', "data"); ('p', "probabilistic"); ('x', "xml");
+    ('y', "dynamic"); ('g', "sigmod"); ('t', "tree"); ('q', "query");
+    ('u', "automata"); ('n', "pattern"); ('l', "retrieval");
+    ('e', "efficient"); ('i', "understanding"); ('c', "searching");
+    ('v', "vldb"); ('h', "henry"); ('m', "semantics");
+  ]
+
+let xmark_abbreviations =
+  [
+    ('p', "particle"); ('d', "dominator"); ('t', "threshold");
+    ('c', "chronicle"); ('m', "method"); ('s', "strings"); ('u', "unjust");
+    ('i', "invention"); ('e', "egypt"); ('l', "leon"); ('v', "preventions");
+    ('n', "description"); ('o', "order");
+  ]
+
+let expand abbrs mnemonic =
+  List.init (String.length mnemonic) (fun i ->
+      match List.assoc_opt mnemonic.[i] abbrs with
+      | Some w -> w
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Queries.expand: unknown abbreviation %C"
+               mnemonic.[i]))
+
+let make name abbrs mnemonics =
+  { name; queries = List.map (fun m -> (m, expand abbrs m)) mnemonics }
+
+let dblp =
+  make "dblp" dblp_abbreviations
+    [
+      "ks"; "kr"; "ka"; "dq"; "drpx"; "aygt"; "tqns"; "xtua"; "ype"; "ypel";
+      "xkla"; "usc"; "xetdr"; "xdkla"; "xayn"; "vexdkl"; "ushc"; "kpg";
+      "kcmse";
+    ]
+
+let xmark =
+  make "xmark" xmark_abbreviations
+    [
+      "pt"; "pd"; "pv"; "cm"; "no"; "vn"; "tcm"; "cms"; "ile"; "snc"; "vno";
+      "ptcm"; "cmsu"; "suil"; "ipdm"; "vnoi"; "tcmsu"; "ilesn"; "ptcms";
+      "ptcmd"; "ptcmv"; "ptcdv"; "ptcdve"; "ptcmve"; "dtcmvo";
+    ]

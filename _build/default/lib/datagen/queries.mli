@@ -1,0 +1,23 @@
+(** Query workloads for the Figure 5 / Figure 6 experiments.
+
+    The paper labels each query by the concatenated abbreviation letters
+    of its keywords (e.g. ["vdo"] = "preventions description order"); the
+    exact underlined letters are lost in the text extraction, so we fix
+    our own unambiguous letter per keyword and build workloads of the same
+    shape: 19 DBLP queries and 25 XMark queries mixing 2–6 keywords of
+    high and low frequency. *)
+
+type workload = { name : string; queries : (string * string list) list }
+(** Each query is [(mnemonic, keywords)]. *)
+
+val dblp_abbreviations : (char * string) list
+(** Letter -> keyword for the DBLP workload. *)
+
+val xmark_abbreviations : (char * string) list
+
+val dblp : workload
+val xmark : workload
+
+val expand : (char * string) list -> string -> string list
+(** [expand abbrs "vdo"] is the keyword list for a mnemonic.
+    @raise Invalid_argument on an unknown letter. *)

@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* SplitMix64 step (Steele, Lea & Flood 2014). *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound";
+  let x = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  x mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (x /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty";
+  a.(int t (Array.length a))
+
+let pick_list t l = pick t (Array.of_list l)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = next t }
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n";
+  (* Inverse-CDF over the truncated harmonic weights. *)
+  let total = ref 0.0 in
+  for r = 1 to n do
+    total := !total +. (1.0 /. (float_of_int r ** s))
+  done;
+  let target = float t !total in
+  let rec find r acc =
+    if r > n then n - 1
+    else
+      let acc = acc +. (1.0 /. (float_of_int r ** s)) in
+      if acc >= target then r - 1 else find (r + 1) acc
+  in
+  find 1 0.0

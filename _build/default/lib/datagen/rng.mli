@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    All synthetic data is generated from explicit seeds so every dataset,
+    workload and benchmark run is reproducible bit-for-bit; the stdlib
+    [Random] state is never touched. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — equal seeds give equal streams. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [[0, n)] with exponent [s] (computed by
+    inverse-CDF over precomputed weights would be exact; this uses
+    rejection on the normalised harmonic weights, good enough for
+    vocabulary sampling). *)

@@ -1,0 +1,152 @@
+let common =
+  [|
+    "time"; "year"; "people"; "way"; "day"; "man"; "thing"; "woman"; "life";
+    "child"; "world"; "school"; "state"; "family"; "student"; "group";
+    "country"; "problem"; "hand"; "part"; "place"; "case"; "week";
+    "company"; "system"; "program"; "question"; "work"; "government";
+    "number"; "night"; "point"; "home"; "water"; "room"; "mother"; "area";
+    "money"; "story"; "fact"; "month"; "lot"; "right"; "study"; "book";
+    "eye"; "job"; "word"; "business"; "issue"; "side"; "kind"; "head";
+    "house"; "service"; "friend"; "father"; "power"; "hour"; "game";
+    "line"; "end"; "member"; "law"; "car"; "city"; "community"; "name";
+    "president"; "team"; "minute"; "idea"; "kid"; "body"; "information";
+    "back"; "parent"; "face"; "others"; "level"; "office"; "door";
+    "health"; "person"; "art"; "war"; "history"; "party"; "result";
+    "change"; "morning"; "reason"; "research"; "girl"; "guy"; "moment";
+    "air"; "teacher"; "force"; "education"; "foot"; "boy"; "age"; "policy";
+    "process"; "music"; "market"; "sense"; "nation"; "plan"; "college";
+    "interest"; "death"; "experience"; "effect"; "use"; "class"; "control";
+    "care"; "field"; "development"; "role"; "effort"; "rate"; "heart";
+    "drug"; "show"; "leader"; "light"; "voice"; "wife"; "police"; "mind";
+    "price"; "report"; "decision"; "son"; "view"; "relationship"; "town";
+    "road"; "arm"; "difference"; "value"; "building"; "action"; "model";
+    "season"; "society"; "tax"; "director"; "position"; "player"; "record";
+    "paper"; "space"; "ground"; "form"; "event"; "official"; "matter";
+    "center"; "couple"; "site"; "project"; "activity"; "star"; "table";
+    "need"; "court"; "american"; "oil"; "situation"; "cost"; "industry";
+    "figure"; "street"; "image"; "phone"; "data"; "picture"; "practice";
+    "piece"; "land"; "product"; "doctor"; "wall"; "patient"; "worker";
+    "news"; "test"; "movie"; "north"; "love"; "support"; "technology";
+    "step"; "baby"; "computer"; "type"; "attention"; "film"; "republic";
+    "tree"; "source"; "truth"; "environment"; "history"; "rock"; "quality";
+    "staff"; "century"; "feeling"; "goal"; "bank"; "department"; "attack";
+    "risk"; "fire"; "future"; "stage"; "security"; "purpose"; "trade";
+    "concern"; "series"; "language"; "bird"; "glass"; "answer"; "garden";
+    "skill"; "sister"; "professor"; "operation"; "financial"; "crime";
+    "stock"; "defense"; "analysis"; "current"; "energy"; "property";
+    "region"; "television"; "box"; "training"; "pressure"; "arms";
+    "brother"; "nature"; "fund"; "chance"; "character"; "disease"; "east";
+    "machine"; "income"; "account"; "ball"; "stone"; "authority"; "summer";
+    "south"; "window"; "peace"; "organization"; "forest"; "river";
+    "mountain"; "village"; "bridge"; "castle"; "journey"; "winter";
+    "spring"; "autumn"; "harvest"; "valley"; "island"; "ocean"; "desert";
+    "storm"; "thunder"; "silver"; "golden"; "copper"; "marble"; "crystal";
+  |]
+
+let cs_terms =
+  [|
+    "algorithm"; "database"; "index"; "graph"; "network"; "distributed";
+    "parallel"; "optimization"; "learning"; "mining"; "clustering";
+    "classification"; "estimation"; "approximation"; "complexity";
+    "evaluation"; "processing"; "storage"; "transaction"; "concurrency";
+    "protocol"; "architecture"; "compiler"; "semantics"; "verification";
+    "model"; "framework"; "analysis"; "structure"; "relational";
+    "semistructured"; "schema"; "integration"; "warehouse"; "stream";
+    "aggregation"; "join"; "selection"; "projection"; "partition";
+    "sampling"; "caching"; "replication"; "consistency"; "recovery";
+    "logging"; "benchmark"; "workload"; "scalability"; "throughput";
+    "latency"; "bandwidth"; "compression"; "encoding"; "encryption";
+    "privacy"; "security"; "authentication"; "ranking"; "relevance";
+    "precision"; "recall"; "feedback"; "ontology"; "taxonomy"; "wrapper";
+    "mediator"; "crawler"; "indexing"; "spatial"; "temporal"; "sequence";
+    "probabilistic"; "statistical"; "bayesian"; "markov"; "neural";
+    "genetic"; "heuristic"; "greedy"; "incremental"; "adaptive";
+    "approximate"; "exact"; "optimal"; "minimal"; "maximal"; "bounded";
+  |]
+
+let auction_terms =
+  [|
+    "auction"; "bidder"; "seller"; "buyer"; "payment"; "shipping";
+    "delivery"; "reserve"; "increment"; "listing"; "catalog"; "category";
+    "item"; "antique"; "vintage"; "collectible"; "rare"; "mint";
+    "condition"; "warranty"; "invoice"; "receipt"; "credit"; "transfer";
+    "currency"; "exchange"; "market"; "price"; "discount"; "premium";
+    "gallery"; "estate"; "jewelry"; "furniture"; "painting"; "sculpture";
+    "ceramic"; "porcelain"; "bronze"; "ivory"; "textile"; "carpet";
+    "manuscript"; "edition"; "engraving"; "lithograph"; "photograph";
+    "instrument"; "clock"; "watch"; "mirror"; "cabinet"; "chest";
+    "wardrobe"; "carriage"; "saddle"; "lantern"; "compass"; "telescope";
+    "globe"; "atlas"; "coin"; "medal"; "stamp"; "banknote"; "certificate";
+  |]
+
+let first_names =
+  [|
+    "james"; "mary"; "robert"; "patricia"; "john"; "jennifer"; "michael";
+    "linda"; "david"; "elizabeth"; "william"; "barbara"; "richard";
+    "susan"; "joseph"; "jessica"; "thomas"; "sarah"; "charles"; "karen";
+    "christopher"; "lisa"; "daniel"; "nancy"; "matthew"; "betty";
+    "anthony"; "sandra"; "mark"; "margaret"; "donald"; "ashley";
+    "steven"; "kimberly"; "andrew"; "emily"; "paul"; "donna"; "joshua";
+    "michelle"; "kenneth"; "carol"; "kevin"; "amanda"; "brian"; "dorothy";
+    "wei"; "ming"; "hiroshi"; "yuki"; "pierre"; "marie"; "hans"; "greta";
+    "ivan"; "olga"; "carlos"; "lucia"; "ahmed"; "fatima"; "raj"; "priya";
+  |]
+
+let last_names =
+  [|
+    "smith"; "johnson"; "williams"; "brown"; "jones"; "garcia"; "miller";
+    "davis"; "rodriguez"; "martinez"; "hernandez"; "lopez"; "gonzalez";
+    "wilson"; "anderson"; "thomas"; "taylor"; "moore"; "jackson";
+    "martin"; "lee"; "perez"; "thompson"; "white"; "harris"; "sanchez";
+    "clark"; "ramirez"; "lewis"; "robinson"; "walker"; "young"; "allen";
+    "king"; "wright"; "scott"; "torres"; "nguyen"; "hill"; "flores";
+    "chen"; "wang"; "zhang"; "liu"; "yang"; "tanaka"; "suzuki"; "sato";
+    "mueller"; "schmidt"; "dubois"; "laurent"; "rossi"; "ferrari";
+    "kumar"; "singh"; "patel"; "ivanov"; "petrov"; "kowalski";
+  |]
+
+let cities =
+  [|
+    "london"; "paris"; "berlin"; "madrid"; "rome"; "vienna"; "prague";
+    "warsaw"; "budapest"; "athens"; "lisbon"; "dublin"; "amsterdam";
+    "brussels"; "stockholm"; "oslo"; "helsinki"; "copenhagen"; "zurich";
+    "geneva"; "tokyo"; "osaka"; "beijing"; "shanghai"; "seoul"; "delhi";
+    "mumbai"; "sydney"; "melbourne"; "toronto"; "montreal"; "chicago";
+    "boston"; "seattle"; "denver"; "austin"; "atlanta"; "miami";
+  |]
+
+let countries =
+  [|
+    "france"; "germany"; "spain"; "italy"; "austria"; "poland"; "hungary";
+    "greece"; "portugal"; "ireland"; "netherlands"; "belgium"; "sweden";
+    "norway"; "finland"; "denmark"; "switzerland"; "japan"; "china";
+    "korea"; "india"; "australia"; "canada"; "brazil"; "mexico"; "chile";
+  |]
+
+type sampler = { words : string array; cumulative : float array }
+
+let sampler ?(s = 1.0) words =
+  if Array.length words = 0 then invalid_arg "Vocab.sampler: empty";
+  let n = Array.length words in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (r + 1) ** s));
+    cumulative.(r) <- !acc
+  done;
+  { words; cumulative }
+
+let sample smp rng =
+  let n = Array.length smp.words in
+  let target = Rng.float rng smp.cumulative.(n - 1) in
+  (* Binary search for the first cumulative weight >= target. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if smp.cumulative.(mid) < target then lo := mid + 1 else hi := mid
+  done;
+  smp.words.(!lo)
+
+let sentence smp rng ~min_words ~max_words =
+  let n = min_words + Rng.int rng (max_words - min_words + 1) in
+  String.concat " " (List.init n (fun _ -> sample smp rng))

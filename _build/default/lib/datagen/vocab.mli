@@ -1,0 +1,37 @@
+(** Vocabularies and Zipfian samplers for the synthetic corpora.
+
+    The generators draw filler words Zipf-distributed over fixed word
+    lists, so the synthetic documents have the skewed word-frequency
+    profile of real text, while the paper's query keywords are planted
+    separately at controlled frequencies. *)
+
+val common : string array
+(** General English filler vocabulary (no stop words — those would be
+    dropped by the indexer anyway). *)
+
+val cs_terms : string array
+(** Computer-science title/abstract vocabulary for the DBLP-like data. *)
+
+val auction_terms : string array
+(** Commerce/auction vocabulary for the XMark-like data. *)
+
+val first_names : string array
+val last_names : string array
+val cities : string array
+val countries : string array
+
+type sampler
+(** A Zipfian sampler over a word array, with a precomputed cumulative
+    table (constant-time setup per draw: one binary search). *)
+
+val sampler : ?s:float -> string array -> sampler
+(** [sampler words] prepares Zipf sampling with exponent [s] (default
+    1.0) over [words] in the given order (rank 0 = most frequent).
+    @raise Invalid_argument on an empty array. *)
+
+val sample : sampler -> Rng.t -> string
+(** Draw one word. *)
+
+val sentence : sampler -> Rng.t -> min_words:int -> max_words:int -> string
+(** A space-separated random "sentence" of [min_words .. max_words]
+    draws. *)

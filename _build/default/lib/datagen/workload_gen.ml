@@ -1,0 +1,49 @@
+type band = Rare | Medium | Frequent
+
+let all_digits w = String.for_all (fun c -> c >= '0' && c <= '9') w
+
+let bands ?(min_occurrences = 2) idx =
+  let words =
+    Xks_index.Inverted.vocabulary idx
+    |> List.filter_map (fun w ->
+           let c = Xks_index.Inverted.occurrence_count idx w in
+           (* Purely numeric tokens (years, page numbers) make
+              unrealistic keywords. *)
+           if c >= min_occurrences && not (all_digits w) then Some (w, c)
+           else None)
+    |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
+  in
+  let n = List.length words in
+  let third = max 1 (n / 3) in
+  let slice lo hi =
+    List.filteri (fun i _ -> i >= lo && i < hi) words |> List.map fst
+  in
+  [
+    (Rare, slice 0 third);
+    (Medium, slice third (2 * third));
+    (Frequent, slice (2 * third) n);
+  ]
+  |> List.filter (fun (_, ws) -> ws <> [])
+
+let generate ?(min_arity = 2) ?(max_arity = 6) ~seed ~count idx =
+  if min_arity < 1 || max_arity < min_arity then
+    invalid_arg "Workload_gen.generate: arities";
+  let banded = bands idx in
+  let pool = List.concat_map snd banded in
+  if List.length pool < max_arity then
+    invalid_arg "Workload_gen.generate: vocabulary too small";
+  let band_arrays = Array.of_list (List.map (fun (_, ws) -> Array.of_list ws) banded) in
+  let rng = Rng.create seed in
+  let rec draw_query () =
+    let arity = min_arity + Rng.int rng (max_arity - min_arity + 1) in
+    let rec pick acc =
+      if List.length acc = arity then acc
+      else
+        let band = band_arrays.(Rng.int rng (Array.length band_arrays)) in
+        let w = Rng.pick rng band in
+        pick (if List.mem w acc then acc else w :: acc)
+    in
+    let q = List.rev (pick []) in
+    if List.length q = arity then q else draw_query ()
+  in
+  List.init count (fun _ -> draw_query ())

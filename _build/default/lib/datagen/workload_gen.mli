@@ -1,0 +1,27 @@
+(** Random query workloads over an indexed corpus.
+
+    The paper builds its workloads "by randomly combining these keywords
+    ... covering different frequency requirements"; this module does the
+    same for arbitrary corpora: the indexed vocabulary is split into
+    frequency bands and each query mixes keywords drawn from random
+    bands, so rare/frequent combinations like the paper's [ks] vs [vdo]
+    arise naturally.  Used by the [fig5-random] bench command to check
+    that the Figure 5/6 shapes are not an artifact of the hand-picked
+    queries. *)
+
+type band = Rare | Medium | Frequent
+
+val bands : ?min_occurrences:int -> Xks_index.Inverted.t -> (band * string list) list
+(** Split the vocabulary into occurrence-count tertiles.  Words below
+    [min_occurrences] (default 2) and purely numeric tokens (years, page
+    numbers) are dropped.  Every band is non-empty whenever at least
+    three words qualify. *)
+
+val generate :
+  ?min_arity:int -> ?max_arity:int -> seed:int -> count:int ->
+  Xks_index.Inverted.t -> string list list
+(** [generate ~seed ~count idx] draws [count] distinct-keyword queries
+    with arities in [[min_arity, max_arity]] (defaults 2 and 6),
+    deterministically from [seed].
+    @raise Invalid_argument if fewer than [max_arity] words qualify or
+    arities are nonsensical. *)

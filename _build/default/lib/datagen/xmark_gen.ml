@@ -1,0 +1,173 @@
+open Xks_xml.Tree
+
+let keywords =
+  [
+    ("particle", 12, 33, 69); ("dominator", 56, 150, 285);
+    ("threshold", 123, 405, 804); ("chronicle", 426, 1286, 2568);
+    ("method", 552, 1667, 3356); ("strings", 615, 1847, 3620);
+    ("unjust", 1000, 3044, 6150); ("invention", 1546, 4715, 9404);
+    ("egypt", 2064, 5255, 12466); ("leon", 2519, 7647, 15210);
+    ("preventions", 66216, 199365, 397672); ("description", 11681, 35168, 70230);
+    ("order", 12705, 38141, 76271);
+  ]
+
+type size = Standard | Data1 | Data2
+type config = { seed : int; items : int; keyword_scale : float }
+
+let default_config = { seed = 7; items = 60; keyword_scale = 0.05 }
+
+let size_factor = function Standard -> 1 | Data1 -> 3 | Data2 -> 6
+
+let planted_counts config size =
+  let pick (w, std, d1, d2) =
+    let f = match size with Standard -> std | Data1 -> d1 | Data2 -> d2 in
+    (w, Plant.scaled_count ~scale:config.keyword_scale f)
+  in
+  List.map pick keywords
+
+let regions_names =
+  [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+let generate ?(config = default_config) size =
+  let rng = Rng.create (config.seed + size_factor size) in
+  let keyword_names = List.map (fun (w, _, _, _) -> w) keywords in
+  let text_vocab =
+    Plant.filter_keywords keyword_names
+      (Array.append Vocab.auction_terms Vocab.common)
+  in
+  let text_sampler = Vocab.sampler text_vocab in
+  let items_per_region = config.items * size_factor size in
+  let n_regions = Array.length regions_names in
+  let n_items = items_per_region * n_regions in
+  let n_people = n_items / 2 in
+  let n_open = n_items / 3 in
+  let n_closed = n_items / 4 in
+  let n_categories = max 4 (n_items / 20) in
+  (* Text slots the keywords can be planted into: item details, auction
+     annotations and person profiles. *)
+  let item_details = Array.init n_items (fun _ -> ref []) in
+  let open_annotations = Array.init n_open (fun _ -> ref []) in
+  let closed_annotations = Array.init n_closed (fun _ -> ref []) in
+  let person_profiles = Array.init n_people (fun _ -> ref []) in
+  let all_slots =
+    Array.concat
+      [ item_details; open_annotations; closed_annotations; person_profiles ]
+  in
+  List.iter
+    (fun (w, count) -> Plant.inject rng ~slots:all_slots w count)
+    (planted_counts config size);
+  let para words =
+    let filler = Vocab.sentence text_sampler rng ~min_words:6 ~max_words:18 in
+    String.concat " " (filler :: words)
+  in
+  let person_name () =
+    Rng.pick rng Vocab.first_names ^ " " ^ Rng.pick rng Vocab.last_names
+  in
+  let item region i =
+    let idx = ref 0 in
+    Array.iteri (fun r name -> if name = region then idx := r) regions_names;
+    let slot = item_details.((!idx * items_per_region) + i) in
+    elem
+      ~attrs:[ ("id", Printf.sprintf "item_%s_%d" region i) ]
+      "item"
+      [
+        elem ~text:(Rng.pick rng Vocab.cities) "location" [];
+        elem ~text:(string_of_int (1 + Rng.int rng 5)) "quantity" [];
+        elem
+          ~text:(Vocab.sentence text_sampler rng ~min_words:2 ~max_words:4)
+          "name" [];
+        elem "payment"
+          [ elem ~text:(if Rng.bool rng then "credit" else "cash") "paytype" [] ];
+        elem ~text:(para !slot) "details" [];
+        elem ~text:(if Rng.bool rng then "will ship" else "pickup only") "shipping" [];
+        elem
+          ~attrs:[ ("category", Printf.sprintf "cat_%d" (Rng.int rng n_categories)) ]
+          "incategory" [];
+      ]
+  in
+  let region name =
+    elem name (List.init items_per_region (fun i -> item name i))
+  in
+  let category i =
+    elem
+      ~attrs:[ ("id", Printf.sprintf "cat_%d" i) ]
+      "category"
+      [
+        elem
+          ~text:(Vocab.sentence text_sampler rng ~min_words:1 ~max_words:3)
+          "name" [];
+        elem
+          ~text:(Vocab.sentence text_sampler rng ~min_words:5 ~max_words:12)
+          "details" [];
+      ]
+  in
+  let person i =
+    elem
+      ~attrs:[ ("id", Printf.sprintf "person_%d" i) ]
+      "person"
+      [
+        elem ~text:(person_name ()) "name" [];
+        elem
+          ~text:(Printf.sprintf "mail%d@example.net" i)
+          "emailaddress" [];
+        elem "address"
+          [
+            elem ~text:(Printf.sprintf "%d main street" (1 + Rng.int rng 99)) "street" [];
+            elem ~text:(Rng.pick rng Vocab.cities) "city" [];
+            elem ~text:(Rng.pick rng Vocab.countries) "country" [];
+          ];
+        elem "profile"
+          [
+            elem ~text:(para !(person_profiles.(i))) "interest" [];
+            elem ~text:(string_of_int (18 + Rng.int rng 60)) "age" [];
+          ];
+      ]
+  in
+  let bidder () =
+    elem "bidder"
+      [
+        elem ~text:(Printf.sprintf "person_%d" (Rng.int rng n_people)) "personref" [];
+        elem ~text:(Printf.sprintf "%d.%02d" (Rng.int rng 200) (Rng.int rng 100)) "increase" [];
+      ]
+  in
+  let open_auction i =
+    elem
+      ~attrs:[ ("id", Printf.sprintf "open_auction_%d" i) ]
+      "open_auction"
+      ([
+         elem ~text:(Printf.sprintf "%d.%02d" (Rng.int rng 300) (Rng.int rng 100)) "initial" [];
+       ]
+      @ List.init (1 + Rng.int rng 4) (fun _ -> bidder ())
+      @ [
+          elem ~text:(Printf.sprintf "item_%s_%d" (Rng.pick rng regions_names) (Rng.int rng items_per_region)) "itemref" [];
+          elem ~text:(Printf.sprintf "person_%d" (Rng.int rng n_people)) "seller" [];
+          elem "annotation"
+            [
+              elem ~text:(person_name ()) "author" [];
+              elem ~text:(para !(open_annotations.(i))) "details" [];
+            ];
+        ])
+  in
+  let closed_auction i =
+    elem "closed_auction"
+      [
+        elem ~text:(Printf.sprintf "person_%d" (Rng.int rng n_people)) "seller" [];
+        elem ~text:(Printf.sprintf "person_%d" (Rng.int rng n_people)) "buyer" [];
+        elem ~text:(Printf.sprintf "item_%s_%d" (Rng.pick rng regions_names) (Rng.int rng items_per_region)) "itemref" [];
+        elem ~text:(Printf.sprintf "%d.%02d" (Rng.int rng 500) (Rng.int rng 100)) "price" [];
+        elem "annotation"
+          [
+            elem ~text:(person_name ()) "author" [];
+            elem ~text:(para !(closed_annotations.(i))) "details" [];
+          ];
+      ]
+  in
+  build
+    (elem "site"
+       [
+         elem "regions" (Array.to_list (Array.map region regions_names));
+         elem "categories" (List.init n_categories category);
+         elem "people" (List.init n_people person);
+         elem "open_auctions" (List.init n_open open_auction);
+         elem "closed_auctions" (List.init n_closed closed_auction);
+       ])

@@ -1,0 +1,33 @@
+(** XMark-shaped synthetic corpus.
+
+    Stands in for the three XMark datasets of the paper (standard
+    111.1 MB, data1 334.9 MB, data2 669.6 MB): an auction [site] with
+    regions/items, categories, people and open/closed auctions — deep,
+    repetitive structure whose less meaningful keyword placement drives
+    the paper's Figure 6(b–d) (APR' > 0, Max APR near 1).
+
+    The paper's 13 XMark keywords are planted as text words at the
+    measured frequencies times [keyword_scale]; the document bulk is
+    controlled independently by [items] so the three dataset sizes keep
+    the paper's 1 : 3 : 6 ratio at laptop scale.  (Real XMark emits
+    [description] elements; we name ours [details] so the planted
+    keyword "description" has an exactly controlled frequency.) *)
+
+val keywords : (string * int * int * int) list
+(** The paper's XMark keywords with frequencies in (standard, data1,
+    data2), e.g. [("particle", 12, 33, 69)]. *)
+
+type size = Standard | Data1 | Data2
+
+type config = {
+  seed : int;
+  items : int;  (** items per region at [Standard]; scaled x3 / x6 above *)
+  keyword_scale : float;
+}
+
+val default_config : config
+(** [seed = 7], [items = 60], [keyword_scale = 0.05]. *)
+
+val generate : ?config:config -> size -> Xks_xml.Tree.t
+
+val planted_counts : config -> size -> (string * int) list

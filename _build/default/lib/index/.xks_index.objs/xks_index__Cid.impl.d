@@ -1,0 +1,1 @@
+lib/index/cid.ml: Format List String

@@ -1,0 +1,1 @@
+lib/index/inverted.ml: Array Hashtbl Int List String Xks_util Xks_xml

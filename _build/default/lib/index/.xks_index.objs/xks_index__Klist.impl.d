@@ -1,0 +1,1 @@
+lib/index/klist.ml: Array Format Sys Xks_util

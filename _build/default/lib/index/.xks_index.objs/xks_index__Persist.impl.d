@@ -1,0 +1,1 @@
+lib/index/persist.ml: Array Buffer Char Fun Inverted List String

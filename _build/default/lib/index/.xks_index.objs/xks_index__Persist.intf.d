@@ -1,0 +1,1 @@
+lib/index/persist.mli: Inverted Xks_xml

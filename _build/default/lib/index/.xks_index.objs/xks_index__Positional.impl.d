@@ -1,0 +1,1 @@
+lib/index/positional.ml: Array Hashtbl List Xks_util Xks_xml

@@ -1,0 +1,1 @@
+lib/index/positional.mli: Xks_xml

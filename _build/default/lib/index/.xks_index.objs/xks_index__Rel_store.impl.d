@@ -1,0 +1,1 @@
+lib/index/rel_store.ml: Array Cid Format Hashtbl List Shredder String Xks_relational Xks_xml

@@ -1,0 +1,1 @@
+lib/index/rel_store.mli: Cid Shredder Xks_relational Xks_xml

@@ -1,0 +1,1 @@
+lib/index/shredder.ml: Array Cid Hashtbl List String Xks_xml

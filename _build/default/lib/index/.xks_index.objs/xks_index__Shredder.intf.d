@@ -1,0 +1,1 @@
+lib/index/shredder.mli: Cid Xks_xml

@@ -1,0 +1,1 @@
+lib/index/stream_index.ml: Array Buffer Fun Hashtbl Int List Persist String Xks_util Xks_xml

@@ -1,0 +1,1 @@
+lib/index/stream_index.mli:

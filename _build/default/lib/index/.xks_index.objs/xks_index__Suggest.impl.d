@@ -1,0 +1,1 @@
+lib/index/suggest.ml: Array Fun Int Inverted List String Xks_xml

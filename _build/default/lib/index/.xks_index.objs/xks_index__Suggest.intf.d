@@ -1,0 +1,1 @@
+lib/index/suggest.mli: Inverted

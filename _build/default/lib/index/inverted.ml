@@ -1,0 +1,120 @@
+module Tree = Xks_xml.Tree
+module Tokenizer = Xks_xml.Tokenizer
+
+type entry = { ids : Xks_util.Int_vec.t; mutable occurrences : int }
+
+type t = {
+  doc : Tree.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable frozen : (string, int array) Hashtbl.t option;
+}
+
+let empty_posting = [||]
+
+let build doc =
+  let entries = Hashtbl.create 4096 in
+  let index_node (n : Tree.node) =
+    let add w =
+      let e =
+        match Hashtbl.find_opt entries w with
+        | Some e -> e
+        | None ->
+            let e = { ids = Xks_util.Int_vec.create (); occurrences = 0 } in
+            Hashtbl.add entries w e;
+            e
+      in
+      e.occurrences <- e.occurrences + 1;
+      (* Postings are per node: skip the id if this node was just added
+         (tokens of one node arrive consecutively). *)
+      let v = e.ids in
+      if Xks_util.Int_vec.length v = 0 || Xks_util.Int_vec.last v <> n.id then
+        Xks_util.Int_vec.push v n.id
+    in
+    let feed s = Tokenizer.iter_words add s in
+    feed (Tree.label_name doc n);
+    feed n.text;
+    List.iter
+      (fun (k, v) ->
+        feed k;
+        feed v)
+      n.attrs
+  in
+  Tree.iter index_node doc;
+  { doc; entries; frozen = None }
+
+let doc t = t.doc
+
+let frozen t =
+  match t.frozen with
+  | Some f -> f
+  | None ->
+      let f = Hashtbl.create (Hashtbl.length t.entries) in
+      Hashtbl.iter
+        (fun w e -> Hashtbl.add f w (Xks_util.Int_vec.to_array e.ids))
+        t.entries;
+      t.frozen <- Some f;
+      f
+
+let posting t w =
+  match Hashtbl.find_opt (frozen t) (Tokenizer.normalize w) with
+  | Some a -> a
+  | None -> empty_posting
+
+let postings t ws = Array.of_list (List.map (posting t) ws)
+let node_count t w = Array.length (posting t w)
+
+let occurrence_count t w =
+  match Hashtbl.find_opt t.entries (Tokenizer.normalize w) with
+  | Some e -> e.occurrences
+  | None -> 0
+
+let vocabulary t =
+  Hashtbl.fold (fun w _ acc -> w :: acc) t.entries []
+  |> List.sort String.compare
+
+let vocabulary_size t = Hashtbl.length t.entries
+
+let to_rows t =
+  let f = frozen t in
+  Hashtbl.fold
+    (fun w e acc ->
+      let posting =
+        match Hashtbl.find_opt f w with Some p -> p | None -> assert false
+      in
+      (w, e.occurrences, posting) :: acc)
+    t.entries []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let of_rows doc rows =
+  let n = Xks_xml.Tree.size doc in
+  let entries = Hashtbl.create (List.length rows) in
+  let frozen = Hashtbl.create (List.length rows) in
+  List.iter
+    (fun (w, occurrences, posting) ->
+      if occurrences < Array.length posting then
+        failwith "Inverted.of_rows: occurrence count below node count";
+      Array.iteri
+        (fun i id ->
+          if id < 0 || id >= n then failwith "Inverted.of_rows: id out of range";
+          if i > 0 && posting.(i - 1) >= id then
+            failwith "Inverted.of_rows: posting not strictly increasing")
+        posting;
+      let ids = Xks_util.Int_vec.create ~capacity:(Array.length posting) () in
+      Array.iter (Xks_util.Int_vec.push ids) posting;
+      Hashtbl.replace entries w { ids; occurrences };
+      Hashtbl.replace frozen w posting)
+    rows;
+  { doc; entries; frozen = Some frozen }
+
+let top_words t n =
+  let all =
+    Hashtbl.fold (fun w e acc -> (w, e.occurrences) :: acc) t.entries []
+  in
+  let sorted =
+    List.sort
+      (fun (wa, ca) (wb, cb) ->
+        let c = Int.compare cb ca in
+        if c <> 0 then c else String.compare wa wb)
+      all
+  in
+  List.filteri (fun i _ -> i < n) sorted

@@ -1,0 +1,52 @@
+(** Inverted keyword index.
+
+    Maps each normalised, non-stop word to the sorted array of ids of the
+    nodes whose content contains it — exactly the keyword-node sets [Di]
+    that stage [getKeywordNodes] of Algorithm 1 needs.  Node ids are
+    preorder ranks, so each posting list is in document (Dewey) order.
+
+    This plays the role of the paper's PostgreSQL [value] table lookup:
+    given a query, it returns the Dewey-ordered keyword-node lists. *)
+
+type t
+
+val build : Xks_xml.Tree.t -> t
+(** Index every node of the document.  A node appears once in the posting
+    list of each distinct word of its content. *)
+
+val doc : t -> Xks_xml.Tree.t
+
+val posting : t -> string -> int array
+(** [posting idx w] is the sorted id array for word [w] ([w] is normalised
+    with {!Xks_xml.Tokenizer.normalize} before lookup).  The returned
+    array is owned by the index: callers must not mutate it.  Empty when
+    the word is absent or a stop word. *)
+
+val postings : t -> string list -> int array array
+(** Posting lists for a whole query, in query order. *)
+
+val node_count : t -> string -> int
+(** Number of keyword nodes for a word: [Array.length (posting idx w)]. *)
+
+val occurrence_count : t -> string -> int
+(** Total number of occurrences of the word in the document (counting
+    repeats inside one node) — the frequency the paper reports next to
+    each keyword. *)
+
+val vocabulary : t -> string list
+(** All indexed words, sorted. *)
+
+val vocabulary_size : t -> int
+
+val top_words : t -> int -> (string * int) list
+(** The [n] most frequent words by occurrence count, descending. *)
+
+(** {1 Row access (persistence support, see {!Persist})} *)
+
+val to_rows : t -> (string * int * int array) list
+(** [(word, occurrences, posting)] rows, sorted by word. *)
+
+val of_rows : Xks_xml.Tree.t -> (string * int * int array) list -> t
+(** Rebuild an index from rows.
+    @raise Failure if a posting is unsorted, contains duplicates, or
+    references an id outside the document. *)

@@ -1,0 +1,52 @@
+type t = int
+
+let empty = 0
+let max_keywords = Sys.int_size - 1
+
+let check_index ~k i =
+  if i < 0 || i >= k then invalid_arg "Klist: keyword index";
+  if k > max_keywords then invalid_arg "Klist: too many keywords"
+
+let singleton ~k i =
+  check_index ~k i;
+  1 lsl (k - 1 - i)
+
+let union = ( lor )
+let inter = ( land )
+
+let mem ~k i v =
+  check_index ~k i;
+  v land (1 lsl (k - 1 - i)) <> 0
+
+let subset a b = a land b = a
+let strict_subset a b = a <> b && subset a b
+
+let full ~k =
+  if k < 0 || k > max_keywords then invalid_arg "Klist.full";
+  (1 lsl k) - 1
+
+let is_full ~k v = v = full ~k
+
+let covered_by_any v chklist =
+  (* A strict superset has a strictly larger key number, so start the scan
+     just past [v] in the sorted list. *)
+  let start = Xks_util.Bsearch.upper_bound chklist v in
+  let n = Array.length chklist in
+  let rec loop i = i < n && (subset v chklist.(i) || loop (i + 1)) in
+  loop start
+
+let cardinal v =
+  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc + (v land 1)) in
+  loop v 0
+
+let to_indices ~k v =
+  let rec loop i acc =
+    if i < 0 then acc
+    else loop (i - 1) (if mem ~k i v then i :: acc else acc)
+  in
+  loop (k - 1) []
+
+let pp ~k fmt v =
+  for i = 0 to k - 1 do
+    Format.pp_print_char fmt (if mem ~k i v then '1' else '0')
+  done

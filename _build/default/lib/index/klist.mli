@@ -1,0 +1,49 @@
+(** Keyword lists as bitsets ("kList" / key numbers, paper section 4.1).
+
+    For a query [Q = {w1 .. wk}] the tree keyword set of a node is stored
+    as a bit vector with one bit per keyword; the paper's "key number" is
+    that vector read as a binary integer with [w1] as the most significant
+    bit.  A strict superset of keywords therefore always has a strictly
+    larger key number, which is what the pruning step exploits when it
+    scans only the larger elements of a sorted [chkList]. *)
+
+type t = int
+(** A key number.  Supports queries of up to [Sys.int_size - 1] keywords
+    (far beyond the paper's 6). *)
+
+val empty : t
+
+val max_keywords : int
+
+val singleton : k:int -> int -> t
+(** [singleton ~k i] is the key number with only keyword [wi] (0-based
+    [i]) set, for a query of [k] keywords: bit [2^(k-1-i)]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val mem : k:int -> int -> t -> bool
+(** [mem ~k i v] is [true] iff keyword [wi] is in [v]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff [a]'s keywords are all in [b] (not
+    necessarily strictly). *)
+
+val strict_subset : t -> t -> bool
+
+val full : k:int -> t
+(** The key number containing all [k] keywords. *)
+
+val is_full : k:int -> t -> bool
+
+val covered_by_any : t -> int array -> bool
+(** [covered_by_any v chklist] is [true] iff some element of the sorted,
+    deduplicated [chklist] is a strict superset of [v].  Only elements
+    greater than [v] are inspected, as in the paper's pruning step. *)
+
+val cardinal : t -> int
+
+val to_indices : k:int -> t -> int list
+(** The 0-based keyword indices present, ascending. *)
+
+val pp : k:int -> Format.formatter -> t -> unit
+(** Render as the paper's boxed bit list, e.g. ["01111"]. *)

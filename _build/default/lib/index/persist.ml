@@ -1,0 +1,99 @@
+type table = (string * int * int array) list
+
+let magic = "XKSIDX1\n"
+
+(* Unsigned LEB128. *)
+let write_varint buf n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  if n < 0 then invalid_arg "Persist: negative varint";
+  go n
+
+type reader = { data : string; mutable pos : int }
+
+let read_byte r =
+  if r.pos >= String.length r.data then failwith "Persist: truncated index";
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string r =
+  let n = read_varint r in
+  if r.pos + n > String.length r.data then failwith "Persist: truncated index";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let dump = Inverted.to_rows
+let of_table = Inverted.of_rows
+
+let encode rows =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf magic;
+  write_varint buf (List.length rows);
+  List.iter
+    (fun (w, occurrences, posting) ->
+      write_string buf w;
+      write_varint buf occurrences;
+      write_varint buf (Array.length posting);
+      (* Sorted ids: store the first id, then the gaps. *)
+      ignore
+        (Array.fold_left
+           (fun prev id ->
+             write_varint buf (id - prev);
+             id)
+           0 posting))
+    rows;
+  Buffer.contents buf
+
+let decode data =
+  let r = { data; pos = 0 } in
+  if
+    String.length data < String.length magic
+    || String.sub data 0 (String.length magic) <> magic
+  then failwith "Persist: not an xks index file";
+  r.pos <- String.length magic;
+  let count = read_varint r in
+  List.init count (fun _ ->
+      let w = read_string r in
+      let occurrences = read_varint r in
+      let len = read_varint r in
+      let posting = Array.make len 0 in
+      let prev = ref 0 in
+      for i = 0 to len - 1 do
+        prev := !prev + read_varint r;
+        posting.(i) <- !prev
+      done;
+      (w, occurrences, posting))
+
+let save path idx =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (encode (dump idx)))
+
+let load path doc =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_table doc (decode data)

@@ -1,0 +1,41 @@
+(** Binary save/load of inverted indexes.
+
+    A compact, self-describing on-disk format so large corpora are
+    indexed once and reopened instantly (the paper's counterpart is the
+    shredded PostgreSQL database persisting across runs):
+
+    - magic ["XKSIDX1\n"], then the word count,
+    - per word: the word, its occurrence count, and its posting list
+      with ids delta- and varint-encoded (posting lists are sorted, so
+      gaps are small).
+
+    The document itself is saved separately as XML ({!Xks_xml.Writer});
+    {!load} re-attaches a loaded index to it and verifies that posting
+    ids are in range. *)
+
+type table = (string * int * int array) list
+(** [(word, occurrences, posting)] rows, sorted by word. *)
+
+val save : string -> Inverted.t -> unit
+(** [save path idx] writes the index.
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> Xks_xml.Tree.t -> Inverted.t
+(** [load path doc] reads an index saved by {!save} and binds it to
+    [doc].
+    @raise Failure if the file is not a valid index, or if a posting id
+    falls outside [doc] (wrong document). *)
+
+val encode : table -> string
+(** The on-disk bytes for rows (what {!save} writes). *)
+
+val decode : string -> table
+(** Inverse of {!encode}.
+    @raise Failure on malformed bytes. *)
+
+val dump : Inverted.t -> table
+(** The index contents as rows (also used by the tests). *)
+
+val of_table : Xks_xml.Tree.t -> table -> Inverted.t
+(** Rebuild an index value from rows.
+    @raise Failure on out-of-range ids or unsorted postings. *)

@@ -1,0 +1,87 @@
+module Tree = Xks_xml.Tree
+module Tokenizer = Xks_xml.Tokenizer
+module Stopwords = Xks_xml.Stopwords
+module Int_vec = Xks_util.Int_vec
+
+type node_positions = { node_id : int; offsets : Int_vec.t }
+
+type t = {
+  doc : Tree.t;
+  entries : (string, node_positions list ref) Hashtbl.t;
+      (* per word, most recent node first *)
+}
+
+let build doc =
+  let entries = Hashtbl.create 4096 in
+  let index_node (n : Tree.node) =
+    let counter = ref 0 in
+    let add w =
+      let pos = !counter in
+      incr counter;
+      (* Positions count every token; stop words occupy an offset but
+         are not indexed. *)
+      if not (Stopwords.is_stopword w) then begin
+        let bucket =
+          match Hashtbl.find_opt entries w with
+          | Some b -> b
+          | None ->
+              let b = ref [] in
+              Hashtbl.add entries w b;
+              b
+        in
+        match !bucket with
+        | { node_id; offsets } :: _ when node_id = n.id ->
+            Int_vec.push offsets pos
+        | _ ->
+            let offsets = Int_vec.create () in
+            Int_vec.push offsets pos;
+            bucket := { node_id = n.id; offsets } :: !bucket
+      end
+    in
+    let feed s = Tokenizer.iter_words ~keep_stopwords:true add s in
+    feed (Tree.label_name doc n);
+    feed n.text;
+    List.iter
+      (fun (k, v) ->
+        feed k;
+        feed v)
+      n.attrs
+  in
+  Tree.iter index_node doc;
+  { doc; entries }
+
+let doc t = t.doc
+
+let positions t w =
+  match Hashtbl.find_opt t.entries (Tokenizer.normalize w) with
+  | Some bucket ->
+      List.rev_map
+        (fun { node_id; offsets } -> (node_id, Int_vec.to_array offsets))
+        !bucket
+  | None -> []
+
+let posting t w = Array.of_list (List.map fst (positions t w))
+
+let phrase_posting t words =
+  match List.map Tokenizer.normalize words with
+  | [] -> invalid_arg "Positional.phrase_posting: empty phrase"
+  | first :: rest ->
+      let first_positions = positions t first in
+      let rest_positions =
+        List.map (fun w -> positions t w) rest
+      in
+      let matches_at node_id start =
+        List.for_all2
+          (fun offset pos_list ->
+            match List.assoc_opt node_id pos_list with
+            | Some offsets -> Xks_util.Bsearch.mem offsets (start + offset)
+            | None -> false)
+          (List.mapi (fun i _ -> i + 1) rest)
+          rest_positions
+      in
+      first_positions
+      |> List.filter_map (fun (node_id, offsets) ->
+             if Array.exists (fun p -> matches_at node_id p) offsets then
+               Some node_id
+             else None)
+      |> Array.of_list

@@ -1,0 +1,35 @@
+(** Positional inverted index and phrase matching.
+
+    Extends {!Inverted} with word positions: every node's content is a
+    token stream (label words, then text words, then attribute words, in
+    document order of the node) and each posting entry remembers the
+    offsets at which its word occurs.  A {e phrase} ["xml keyword"]
+    matches a node iff the words occur at consecutive offsets inside
+    that node's own content — the standard positional-intersection
+    algorithm.
+
+    Phrase posting lists plug into the ordinary pipeline through
+    {!Xks_core.Query.of_postings}, so ValidRTF over phrases comes for
+    free (see {!Xks_core.Phrase}). *)
+
+type t
+
+val build : Xks_xml.Tree.t -> t
+(** Index every node.  Stop words are dropped {e without} closing the
+    position gap (matching the tokenizer), so a phrase cannot span a
+    dropped stop word. *)
+
+val doc : t -> Xks_xml.Tree.t
+
+val positions : t -> string -> (int * int array) list
+(** [(node id, sorted offsets)] pairs for a (normalised) word, in
+    document order.  Empty for absent words. *)
+
+val posting : t -> string -> int array
+(** Plain posting list (ids only) — agrees with {!Inverted.posting}. *)
+
+val phrase_posting : t -> string list -> int array
+(** Sorted ids of the nodes containing the given words at consecutive
+    offsets, in order.  A single-word phrase degrades to {!posting};
+    the empty phrase is invalid.
+    @raise Invalid_argument on the empty list. *)

@@ -1,0 +1,92 @@
+module Dewey = Xks_xml.Dewey
+module Table = Xks_relational.Table
+module Plan = Xks_relational.Plan
+module Value = Xks_relational.Value
+
+type t = { labels : Table.t; elements : Table.t; values : Table.t }
+
+let of_tables (tables : Shredder.tables) =
+  let labels =
+    Table.create ~indexed:[ "label" ] ~name:"label" [ "label"; "id" ]
+  in
+  List.iter
+    (fun (r : Shredder.label_row) ->
+      Table.insert labels [| Value.text r.label_name; Value.int r.label_id |])
+    tables.labels;
+  let elements =
+    Table.create ~indexed:[ "dewey" ] ~name:"element"
+      [ "label"; "dewey"; "id"; "level"; "label_path"; "content_feature" ]
+  in
+  Array.iteri
+    (fun id (r : Shredder.element_row) ->
+      Table.insert elements
+        [|
+          Value.text r.e_label;
+          Value.text (Dewey.to_string r.e_dewey);
+          Value.int id;
+          Value.int r.e_level;
+          Value.text (String.concat "." (List.map string_of_int r.e_label_path));
+          Value.text (Format.asprintf "%a" Cid.pp r.e_content_feature);
+        |])
+    tables.elements;
+  let values =
+    Table.create ~indexed:[ "keyword" ] ~name:"value"
+      [ "label"; "dewey"; "id"; "attribute"; "keyword" ]
+  in
+  (* The preorder rank of a value row comes from its element row. *)
+  let id_of_dewey = Hashtbl.create (Array.length tables.elements) in
+  Array.iteri
+    (fun id (r : Shredder.element_row) ->
+      Hashtbl.replace id_of_dewey (Dewey.to_string r.e_dewey) id)
+    tables.elements;
+  List.iter
+    (fun (r : Shredder.value_row) ->
+      let d = Dewey.to_string r.v_dewey in
+      Table.insert values
+        [|
+          Value.text r.v_label;
+          Value.text d;
+          Value.int (Hashtbl.find id_of_dewey d);
+          Value.text r.v_attribute;
+          Value.text r.v_keyword;
+        |])
+    tables.values;
+  { labels; elements; values }
+
+let of_doc ?cid_mode doc = of_tables (Shredder.shred ?cid_mode doc)
+
+let label_table t = t.labels
+let element_table t = t.elements
+let value_table t = t.values
+
+let keyword_node_ids t w =
+  let w = Xks_xml.Tokenizer.normalize w in
+  let result =
+    Plan.select ~distinct:true ~order_by:[ "id" ] ~columns:[ "id" ]
+      ~where:(Plan.Eq ("keyword", Value.text w))
+      t.values
+  in
+  Array.of_list (List.map (fun row -> Value.as_int row.(0)) result.rows)
+
+let postings_via_sql t ws = Array.of_list (List.map (keyword_node_ids t) ws)
+
+let label_path t dewey =
+  let result =
+    Plan.select ~columns:[ "label_path" ]
+      ~where:(Plan.Eq ("dewey", Value.text (Dewey.to_string dewey)))
+      t.elements
+  in
+  match result.rows with
+  | [| path |] :: _ ->
+      if Value.as_text path = "" then []
+      else
+        String.split_on_char '.' (Value.as_text path)
+        |> List.map int_of_string
+  | [] -> raise Not_found
+  | _ :: _ -> assert false (* one column projected *)
+
+let label_id t name =
+  match Table.lookup t.labels ~column:"label" (Value.text name) with
+  | [| _; id |] :: _ -> Some (Value.as_int id)
+  | [] -> None
+  | _ :: _ -> assert false (* two columns *)

@@ -1,0 +1,46 @@
+(** The paper's relational platform (Section 5.2) on the {!Xks_relational}
+    engine.
+
+    Loads the shredded tables into three relational tables —
+
+    - [label (label, id)], indexed on [label];
+    - [element (label, dewey, id, level, label_path, content_feature)],
+      indexed on [dewey];
+    - [value (label, dewey, id, attribute, keyword)], indexed on
+      [keyword] —
+
+    and issues the SQL the paper describes: keyword lookups over the
+    [value] table returning Dewey-ordered keyword-node lists, plus the
+    label-number-sequence fetch from [element].  The extra integer [id]
+    column (the preorder rank) gives the correct document order under
+    sorting, which the textual [dewey] column alone would not
+    (["0.10" < "0.2"] lexicographically).
+
+    [postings_via_sql] is an alternative implementation of Algorithm 1's
+    [getKeywordNodes] stage; the tests check it agrees with the inverted
+    index. *)
+
+type t
+
+val of_tables : Shredder.tables -> t
+val of_doc : ?cid_mode:Cid.mode -> Xks_xml.Tree.t -> t
+
+val label_table : t -> Xks_relational.Table.t
+val element_table : t -> Xks_relational.Table.t
+val value_table : t -> Xks_relational.Table.t
+
+val keyword_node_ids : t -> string -> int array
+(** [SELECT DISTINCT id FROM value WHERE keyword = w ORDER BY id] —
+    sorted preorder ranks of the keyword nodes of a (normalised) word. *)
+
+val postings_via_sql : t -> string list -> int array array
+(** One posting list per keyword — drop-in for
+    {!Inverted.postings}. *)
+
+val label_path : t -> Xks_xml.Dewey.t -> int list
+(** Label-number sequence of the node at a Dewey code, from the
+    [element] table.
+    @raise Not_found if no element row has that Dewey code. *)
+
+val label_id : t -> string -> int option
+(** Id of a label from the [label] table. *)

@@ -1,0 +1,58 @@
+module Tokenizer = Xks_xml.Tokenizer
+
+let distance ?cutoff a b =
+  let la = String.length a and lb = String.length b in
+  match cutoff with
+  | Some c when abs (la - lb) > c -> c + 1
+  | _ ->
+      (* One row of the dynamic program at a time. *)
+      let prev = Array.init (lb + 1) Fun.id in
+      let curr = Array.make (lb + 1) 0 in
+      for i = 1 to la do
+        curr.(0) <- i;
+        for j = 1 to lb do
+          let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+          curr.(j) <-
+            min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+        done;
+        Array.blit curr 0 prev 0 (lb + 1)
+      done;
+      let d = prev.(lb) in
+      (match cutoff with Some c when d > c -> c + 1 | _ -> d)
+
+let suggest ?(max_distance = 2) ?(limit = 5) idx w =
+  let w = Tokenizer.normalize w in
+  let candidates =
+    List.filter_map
+      (fun v ->
+        if String.equal v w then None
+        else
+          let d = distance ~cutoff:max_distance w v in
+          if d <= max_distance then
+            Some (v, d, Inverted.occurrence_count idx v)
+          else None)
+      (Inverted.vocabulary idx)
+  in
+  let sorted =
+    List.sort
+      (fun (va, da, fa) (vb, db, fb) ->
+        let c = Int.compare da db in
+        if c <> 0 then c
+        else
+          let c = Int.compare fb fa in
+          if c <> 0 then c else String.compare va vb)
+      candidates
+  in
+  List.filteri (fun i _ -> i < limit) sorted
+  |> List.map (fun (v, d, _) -> (v, d))
+
+let correct_query ?max_distance idx ws =
+  List.map
+    (fun w ->
+      let norm = Tokenizer.normalize w in
+      if Inverted.node_count idx norm > 0 then (w, None)
+      else
+        match suggest ?max_distance ~limit:1 idx norm with
+        | (v, _) :: _ -> (w, Some v)
+        | [] -> (w, None))
+    ws

@@ -1,0 +1,26 @@
+(** "Did you mean" suggestions for query keywords.
+
+    Keyword search dies silently when one keyword is misspelled — every
+    LCA-based semantics returns the empty result.  This module proposes
+    close vocabulary words (bounded Levenshtein distance, ranked by
+    distance then corpus frequency) so front ends can recover; the CLI
+    prints the suggestions when a query has no results. *)
+
+val distance : ?cutoff:int -> string -> string -> int
+(** Levenshtein edit distance (unit costs).  With [cutoff], the scan
+    stops early and returns [cutoff + 1] when the distance provably
+    exceeds it. *)
+
+val suggest :
+  ?max_distance:int -> ?limit:int -> Inverted.t -> string ->
+  (string * int) list
+(** [suggest idx w] — up to [limit] (default 5) vocabulary words within
+    [max_distance] (default 2) of the (normalised) [w], closest first,
+    ties broken by descending corpus frequency.  The word itself is
+    never suggested. *)
+
+val correct_query :
+  ?max_distance:int -> Inverted.t -> string list ->
+  (string * string option) list
+(** For every query keyword: [None] when it occurs in the corpus, or the
+    best suggestion (if any) when it does not. *)

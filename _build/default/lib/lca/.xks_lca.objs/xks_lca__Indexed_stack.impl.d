@@ -1,0 +1,1 @@
+lib/lca/indexed_stack.ml: Array Int List Probe Xks_util Xks_xml

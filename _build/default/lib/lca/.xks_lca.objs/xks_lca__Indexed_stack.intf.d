@@ -1,0 +1,1 @@
+lib/lca/indexed_stack.mli: Xks_xml

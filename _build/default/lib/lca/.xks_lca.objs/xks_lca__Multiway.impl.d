@@ -1,0 +1,1 @@
+lib/lca/multiway.ml: Array Int List Probe Slca Xks_util Xks_xml

@@ -1,0 +1,1 @@
+lib/lca/multiway.mli: Xks_xml

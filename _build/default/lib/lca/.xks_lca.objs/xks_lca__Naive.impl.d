@@ -1,0 +1,1 @@
+lib/lca/naive.ml: Array Int List Option Xks_xml

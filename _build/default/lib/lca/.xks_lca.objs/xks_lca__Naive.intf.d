@@ -1,0 +1,1 @@
+lib/lca/naive.mli: Xks_xml

@@ -1,0 +1,1 @@
+lib/lca/probe.ml: Array Xks_util Xks_xml

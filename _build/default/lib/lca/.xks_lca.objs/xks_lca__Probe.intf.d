@@ -1,0 +1,1 @@
+lib/lca/probe.mli: Xks_xml

@@ -1,0 +1,1 @@
+lib/lca/scan_eager.ml: Array Int List Probe Slca Xks_xml

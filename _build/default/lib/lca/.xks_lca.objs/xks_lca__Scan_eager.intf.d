@@ -1,0 +1,1 @@
+lib/lca/scan_eager.mli: Xks_xml

@@ -1,0 +1,1 @@
+lib/lca/slca.ml: Array Int List Probe Xks_xml

@@ -1,0 +1,1 @@
+lib/lca/slca.mli: Xks_xml

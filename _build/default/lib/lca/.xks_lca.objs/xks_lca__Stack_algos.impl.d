@@ -1,0 +1,1 @@
+lib/lca/stack_algos.ml: Array Hashtbl Int List Xks_index Xks_xml

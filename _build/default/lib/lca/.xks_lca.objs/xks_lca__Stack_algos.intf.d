@@ -1,0 +1,1 @@
+lib/lca/stack_algos.mli: Xks_xml

@@ -1,0 +1,1 @@
+lib/lca/tree_scan.ml: Array List Xks_index Xks_xml

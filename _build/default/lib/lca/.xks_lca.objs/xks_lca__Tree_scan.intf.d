@@ -1,0 +1,1 @@
+lib/lca/tree_scan.mli: Xks_xml

@@ -1,0 +1,94 @@
+module Tree = Xks_xml.Tree
+module Dewey = Xks_xml.Dewey
+module Bsearch = Xks_util.Bsearch
+
+type entry = {
+  node : Tree.node;  (* an ELCA candidate: a full container *)
+  mutable child_ranges : (int * int) list;
+      (* preorder ranges of candidate children already determined, most
+         recent first; disjoint, each inside [node]'s range *)
+}
+
+(* Does [u]'s subtree hold, for every keyword, a witness outside every
+   full container strictly below [u]?  [child_ranges] only accelerates the
+   scan; correctness rests on the [fc] validation of each probe. *)
+let is_elca doc postings (u : Tree.node) child_ranges =
+  let ranges = List.rev child_ranges (* ascending start *) in
+  let u_depth = Dewey.depth u.dewey in
+  let witness_for posting =
+    let rec probe pos =
+      if pos > u.subtree_end then false
+      else
+        match Bsearch.first_in_range posting ~lo:pos ~hi:u.subtree_end with
+        | None -> false
+        | Some x -> (
+            match List.find_opt (fun (lo, hi) -> x >= lo && x <= hi) ranges with
+            | Some (_, hi) -> probe (hi + 1)
+            | None -> (
+                match Probe.fc doc postings (Tree.node doc x) with
+                | None -> assert false (* no list is empty here *)
+                | Some f ->
+                    Dewey.depth f.dewey <= u_depth || probe (f.subtree_end + 1)))
+    in
+    probe u.id
+  in
+  Array.for_all witness_for postings
+
+let elca doc postings =
+  let k = Array.length postings in
+  if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then []
+  else begin
+    let s1 = postings.(Probe.smallest_list_index postings) in
+    let results = ref [] in
+    let stack = ref [] in
+    let ancestor_or_self (a : Tree.node) (b : Tree.node) =
+      Dewey.is_ancestor_or_self a.dewey b.dewey
+    in
+    (* Pop [e], emit it if it passes the check, and hand its range to the
+       entry below (its ancestor when the stack is non-empty). *)
+    let pop_and_check () =
+      match !stack with
+      | [] -> assert false
+      | e :: rest ->
+          stack := rest;
+          if is_elca doc postings e.node e.child_ranges then
+            results := e.node.id :: !results;
+          let range = (e.node.id, e.node.subtree_end) in
+          (match rest with
+          | parent :: _ -> parent.child_ranges <- range :: parent.child_ranges
+          | [] -> ());
+          range
+    in
+    let process v =
+      let x =
+        match Probe.fc doc postings (Tree.node doc v) with
+        | Some n -> n
+        | None -> assert false
+      in
+      (* Close candidates that are not ancestors of [x]; collect the
+         ranges of those lying under [x] (they become [x]'s candidate
+         children when the stack empties below them). *)
+      let pending = ref [] in
+      let rec unwind () =
+        match !stack with
+        | e :: _ when not (ancestor_or_self e.node x) ->
+            let range = pop_and_check () in
+            if !stack = [] && ancestor_or_self x e.node then
+              pending := range :: !pending;
+            unwind ()
+        | _ -> ()
+      in
+      unwind ();
+      match !stack with
+      | e :: _ when e.node.id = x.id ->
+          (* Candidate already open; nothing to add ([pending] is empty:
+             anything popped went to this entry). *)
+          ()
+      | _ -> stack := { node = x; child_ranges = !pending } :: !stack
+    in
+    Array.iter process s1;
+    while !stack <> [] do
+      ignore (pop_and_check ())
+    done;
+    List.sort Int.compare !results
+  end

@@ -1,0 +1,23 @@
+(** ELCA computation from posting lists — the paper's [getLCA] stage.
+
+    The Indexed Stack algorithm of Xu & Papakonstantinou (EDBT 2008)
+    computes all ELCA ("interesting LCA") nodes without touching the tree
+    beyond the posting lists: for each occurrence [v] of the rarest
+    keyword the ELCA candidate [elca_can v] is the deepest full container
+    of [v] (every ELCA arises this way); candidates nest along root-leaf
+    paths as [v] sweeps left to right, so a stack tracks the open ones.
+    When a candidate [u] is popped it is checked: for every keyword there
+    must be a witness occurrence in [u]'s subtree lying outside every full
+    container strictly below [u].  The check probes the posting list with
+    binary searches, first skipping the ranges of [u]'s already-determined
+    candidate children, and validates each probe [x] by requiring that
+    [fc x] — the deepest full container of [x] — is not strictly below
+    [u]; invalid probes skip the whole subtree of [fc x], so each probe
+    either succeeds or jumps over a maximal full container.
+
+    Results are returned in document order. *)
+
+val elca : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all ELCA nodes for the query whose posting lists are given,
+    in document order.  Empty when some keyword has no occurrence or the
+    query is empty. *)

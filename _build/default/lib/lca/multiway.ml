@@ -1,0 +1,30 @@
+module Tree = Xks_xml.Tree
+module Bsearch = Xks_util.Bsearch
+
+let slca doc postings =
+  let k = Array.length postings in
+  if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then []
+  else begin
+    let candidates = ref [] in
+    let rec step pos =
+      (* Heads: the first occurrence of each keyword at or past [pos];
+         the step ends when some keyword is exhausted. *)
+      let rec heads i anchor =
+        if i = k then Some anchor
+        else
+          match Bsearch.right_match postings.(i) pos with
+          | Some h -> heads (i + 1) (max anchor h)
+          | None -> None
+      in
+      match heads 0 (-1) with
+      | None -> ()
+      | Some anchor ->
+          (match Probe.fc doc postings (Tree.node doc anchor) with
+          | Some c -> candidates := c.id :: !candidates
+          | None -> assert false (* no list is empty *));
+          step (anchor + 1)
+    in
+    step 0;
+    let cands = List.sort_uniq Int.compare !candidates in
+    Slca.filter_minimal doc cands
+  end

@@ -1,0 +1,69 @@
+module Tree = Xks_xml.Tree
+module Dewey = Xks_xml.Dewey
+
+let in_range (node : Tree.node) id = id >= node.id && id <= node.subtree_end
+
+let is_full_container doc postings id =
+  let node = Tree.node doc id in
+  Array.for_all (fun s -> Array.exists (in_range node) s) postings
+
+let full_containers doc postings =
+  Tree.fold
+    (fun acc (n : Tree.node) ->
+      if is_full_container doc postings n.id then n.id :: acc else acc)
+    [] doc
+  |> List.rev
+
+let slca doc postings =
+  let fcs = full_containers doc postings in
+  let strict_desc a b =
+    let na = Tree.node doc a and nb = Tree.node doc b in
+    Dewey.is_ancestor na.dewey nb.dewey
+  in
+  List.filter (fun a -> not (List.exists (fun b -> strict_desc a b) fcs)) fcs
+
+let elca doc postings =
+  let fcs = full_containers doc postings in
+  let keeps (n : Tree.node) =
+    (* Occurrences surviving the exclusion: in the subtree of [n] but not
+       in the subtree of any full container strictly below [n]. *)
+    let excluded id =
+      List.exists
+        (fun f ->
+          f <> n.id
+          && in_range n f
+          && in_range (Tree.node doc f) id)
+        fcs
+    in
+    Array.for_all
+      (fun s ->
+        Array.exists (fun id -> in_range n id && not (excluded id)) s)
+      postings
+  in
+  Tree.fold (fun acc n -> if keeps n then n.id :: acc else acc) [] doc
+  |> List.rev
+
+let lca_of_witnesses doc postings =
+  let k = Array.length postings in
+  if Array.exists (fun s -> Array.length s = 0) postings || k = 0 then []
+  else begin
+    let acc = ref [] in
+    let rec go i current_lca =
+      if i = k then acc := current_lca :: !acc
+      else
+        Array.iter
+          (fun id ->
+            let d = (Tree.node doc id).dewey in
+            go (i + 1) (Dewey.lca current_lca d))
+          postings.(i)
+    in
+    Array.iter
+      (fun id -> go 1 (Tree.node doc id).dewey)
+      postings.(0);
+    let ids =
+      List.filter_map (fun d ->
+          Option.map (fun (n : Tree.node) -> n.id) (Tree.find_by_dewey doc d))
+        !acc
+    in
+    List.sort_uniq Int.compare ids
+  end

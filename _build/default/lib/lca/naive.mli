@@ -1,0 +1,24 @@
+(** Brute-force oracles, straight from the definitions.
+
+    These are intentionally slow, independently-written implementations
+    used only to cross-validate {!Tree_scan}, {!Slca} and {!Indexed_stack}
+    in the test suite.  They re-derive everything from the posting lists
+    with quadratic scans and no shared helper logic. *)
+
+val is_full_container : Xks_xml.Tree.t -> int array array -> int -> bool
+(** [is_full_container doc postings id]: does the subtree rooted at [id]
+    contain at least one occurrence of every keyword?  Decided by scanning
+    each posting list for an element in the subtree's preorder range. *)
+
+val full_containers : Xks_xml.Tree.t -> int array array -> int list
+val slca : Xks_xml.Tree.t -> int array array -> int list
+
+val elca : Xks_xml.Tree.t -> int array array -> int list
+(** Direct XRank definition: for each node, collect the keyword
+    occurrences in its subtree that are not inside any full-container
+    {e strict} descendant, and keep the node iff every keyword remains. *)
+
+val lca_of_witnesses : Xks_xml.Tree.t -> int array array -> int list
+(** All distinct [lca(n1, .., nk)] over every choice of one occurrence per
+    keyword — the classic (non-exclusive) LCA set, document order.  Only
+    usable on tiny inputs: the enumeration is the full cross product. *)

@@ -1,0 +1,13 @@
+(** Scan Eager SLCA (Xu & Papakonstantinou, SIGMOD 2005).
+
+    Same candidate logic as {!Slca.indexed_lookup_eager} — for every
+    occurrence of the rarest keyword, take the deepest full container —
+    but the closest-occurrence probes advance forward-only cursors over
+    the other posting lists instead of binary-searching them.  Each list
+    is traversed once, so the algorithm wins when list lengths are
+    comparable ([O(k |S1| d + sum |Si|)] vs the eager lookup's
+    [O(k |S1| d log |S|)]) and loses when one list is much shorter.
+    The A2 ablation measures the crossover. *)
+
+val slca : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all SLCA nodes, document order. *)

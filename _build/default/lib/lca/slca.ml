@@ -1,0 +1,30 @@
+module Tree = Xks_xml.Tree
+
+(* In document order, a candidate has a candidate strictly below it iff
+   its immediate successor is in its subtree (preorder ranges are
+   intervals), so one linear sweep removes all non-minimal ones. *)
+let rec filter_minimal doc = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | x :: (y :: _ as rest) ->
+      if y <= (Tree.node doc x).subtree_end then filter_minimal doc rest
+      else x :: filter_minimal doc rest
+
+let indexed_lookup_eager doc postings =
+  let k = Array.length postings in
+  if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then []
+  else begin
+    let s1 = postings.(Probe.smallest_list_index postings) in
+    (* Candidate per occurrence of the rarest keyword: its deepest full
+       container.  [fc] cannot return [None] here since no list is
+       empty. *)
+    let candidate v =
+      match Probe.fc doc postings (Tree.node doc v) with
+      | Some n -> n.id
+      | None -> assert false
+    in
+    let cands =
+      Array.to_list (Array.map candidate s1) |> List.sort_uniq Int.compare
+    in
+    filter_minimal doc cands
+  end

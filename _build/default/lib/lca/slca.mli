@@ -1,0 +1,20 @@
+(** SLCA computation from posting lists.
+
+    The Indexed Lookup Eager algorithm of Xu & Papakonstantinou (SIGMOD
+    2005): for each occurrence [v] of the rarest keyword, the candidate
+    [slca_can v] is the deepest full container of [v] (computed with
+    [lm]/[rm] probes on the other lists); the SLCAs are the candidates
+    that are not ancestors of other candidates.  Time
+    [O(k |S1| d log |S|)] where [S1] is the smallest list.
+
+    This powers the {e original} MaxMatch baseline, which works on SLCA
+    fragments only. *)
+
+val indexed_lookup_eager : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all SLCA nodes, in document order.  Empty when some keyword has
+    no occurrence (or the query is empty). *)
+
+val filter_minimal : Xks_xml.Tree.t -> int list -> int list
+(** [filter_minimal doc ids] keeps the ids with no other id strictly
+    inside their subtree.  [ids] must be sorted and duplicate-free
+    (document order); used by every candidate-based SLCA algorithm. *)

@@ -1,0 +1,102 @@
+module Tree = Xks_xml.Tree
+module Dewey = Xks_xml.Dewey
+module Klist = Xks_index.Klist
+
+(* The merged stream: every keyword node once, in document order, with
+   its query-keyword bitset. *)
+let merged_stream postings =
+  let k = Array.length postings in
+  let masks = Hashtbl.create 256 in
+  Array.iteri
+    (fun i s ->
+      let bit = Klist.singleton ~k i in
+      Array.iter
+        (fun id ->
+          let m = try Hashtbl.find masks id with Not_found -> Klist.empty in
+          Hashtbl.replace masks id (Klist.union m bit))
+        s)
+    postings;
+  Hashtbl.fold (fun id m acc -> (id, m) :: acc) masks []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+type entry = {
+  node_id : int;
+  mutable total : Klist.t;  (* keywords anywhere in the subtree *)
+  mutable free : Klist.t;
+      (* own content plus subtrees of non-full-container children *)
+  mutable slca_below : bool;
+}
+
+(* Generic driver: scans the merged stream maintaining the path stack;
+   [on_pop] sees each finalised entry together with its parent. *)
+let scan doc postings ~on_pop =
+  let k = Array.length postings in
+  if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then ()
+  else begin
+    let root_entry =
+      { node_id = 0; total = Klist.empty; free = Klist.empty; slca_below = false }
+    in
+    (* The stack as a growable path; index = depth. *)
+    let path = ref [ root_entry ] (* top first; bottom is the root *) in
+    let depth () = List.length !path - 1 in
+    let pop () =
+      match !path with
+      | e :: (parent :: _ as rest) ->
+          path := rest;
+          parent.total <- Klist.union parent.total e.total;
+          if not (Klist.is_full ~k e.total) then
+            parent.free <- Klist.union parent.free e.total;
+          if e.slca_below then parent.slca_below <- true;
+          on_pop ~k e ~parent:(Some parent)
+      | [ e ] ->
+          path := [];
+          on_pop ~k e ~parent:None
+      | [] -> assert false
+    in
+    let push_to dewey =
+      (* Extend the path with the components of [dewey] beyond the
+         current depth (callers ensure the stack is a prefix). *)
+      for d = depth () to Dewey.depth dewey - 1 do
+        let parent = List.hd !path in
+        let comp = Dewey.component dewey d in
+        let child = (Tree.node doc parent.node_id).children.(comp) in
+        path :=
+          { node_id = child.id; total = Klist.empty; free = Klist.empty;
+            slca_below = false }
+          :: !path
+      done
+    in
+    let visit (id, mask) =
+      let dewey = (Tree.node doc id).dewey in
+      let common =
+        (* Depth up to which the stack already matches [dewey]. *)
+        Dewey.lca_depth (Tree.node doc (List.hd !path).node_id).dewey dewey
+      in
+      while depth () > common do
+        pop ()
+      done;
+      push_to dewey;
+      let top = List.hd !path in
+      top.total <- Klist.union top.total mask;
+      top.free <- Klist.union top.free mask
+    in
+    List.iter visit (merged_stream postings);
+    while !path <> [] do
+      pop ()
+    done
+  end
+
+let slca doc postings =
+  let acc = ref [] in
+  scan doc postings ~on_pop:(fun ~k e ~parent ->
+      if Klist.is_full ~k e.total && not e.slca_below then begin
+        acc := e.node_id :: !acc;
+        match parent with Some p -> p.slca_below <- true | None -> ()
+      end);
+  List.sort Int.compare !acc
+
+let elca doc postings =
+  let acc = ref [] in
+  scan doc postings ~on_pop:(fun ~k e ~parent:_ ->
+      if Klist.is_full ~k e.free then acc := e.node_id :: !acc);
+  List.sort Int.compare !acc

@@ -1,0 +1,21 @@
+(** Stack-based SLCA and ELCA over one merged scan of the keyword nodes.
+
+    The classic Dewey-stack technique (the stack algorithm of Xu &
+    Papakonstantinou for SLCA; XRank's DIL-style computation for ELCA):
+    the keyword nodes of all posting lists are merged in document order
+    and a stack mirrors the root-to-node path of the current position,
+    one entry per Dewey component.  Popping an entry finalises a node:
+    its keyword bitsets are complete, so SLCA-hood (full subtree bitset,
+    no SLCA below) or ELCA-hood (full {e surviving} bitset — own content
+    plus non-full-container children) is decided on the spot and the
+    bitsets are merged into the parent.
+
+    Time [O(|S| d k/word)] after the merge: proportional to the keyword
+    nodes, not the tree.  These serve as independent implementations for
+    cross-validation and as A2-ablation baselines. *)
+
+val slca : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all SLCA nodes, document order. *)
+
+val elca : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all ELCA nodes, document order. *)

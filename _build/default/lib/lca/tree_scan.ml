@@ -1,0 +1,66 @@
+module Tree = Xks_xml.Tree
+module Klist = Xks_index.Klist
+
+type masks = { own : int array; sub : int array }
+
+let compute_masks doc postings =
+  let n = Tree.size doc in
+  let k = Array.length postings in
+  let own = Array.make n Klist.empty in
+  Array.iteri
+    (fun i posting ->
+      let bit = Klist.singleton ~k i in
+      Array.iter (fun id -> own.(id) <- Klist.union own.(id) bit) posting)
+    postings;
+  let sub = Array.copy own in
+  (* Children have larger preorder ids than their parent, so a descending
+     pass folds every subtree into its root. *)
+  for id = n - 1 downto 1 do
+    let parent = (Tree.node doc id).parent in
+    sub.(parent) <- Klist.union sub.(parent) sub.(id)
+  done;
+  { own; sub }
+
+let full_containers doc postings =
+  let k = Array.length postings in
+  let { sub; _ } = compute_masks doc postings in
+  let acc = ref [] in
+  for id = Tree.size doc - 1 downto 0 do
+    if Klist.is_full ~k sub.(id) then acc := id :: !acc
+  done;
+  !acc
+
+let slca doc postings =
+  let k = Array.length postings in
+  let { sub; _ } = compute_masks doc postings in
+  let has_full_child (node : Tree.node) =
+    Array.exists (fun (c : Tree.node) -> Klist.is_full ~k sub.(c.id)) node.children
+  in
+  Tree.fold
+    (fun acc node ->
+      if Klist.is_full ~k sub.(node.id) && not (has_full_child node) then
+        node.id :: acc
+      else acc)
+    [] doc
+  |> List.rev
+
+let elca doc postings =
+  let k = Array.length postings in
+  let { own; sub } = compute_masks doc postings in
+  (* A keyword occurrence under child [c] survives the exclusion iff [c]'s
+     subtree is not a full container (containment is upward-monotone, so a
+     full container below [c] would make [c] full as well). *)
+  let is_elca (node : Tree.node) =
+    Klist.is_full ~k sub.(node.id)
+    &&
+    let surviving =
+      Array.fold_left
+        (fun acc (c : Tree.node) ->
+          if Klist.is_full ~k sub.(c.id) then acc
+          else Klist.union acc sub.(c.id))
+        own.(node.id) node.children
+    in
+    Klist.is_full ~k surviving
+  in
+  Tree.fold (fun acc node -> if is_elca node then node.id :: acc else acc) [] doc
+  |> List.rev

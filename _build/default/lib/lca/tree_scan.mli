@@ -1,0 +1,33 @@
+(** Exact LCA-family computation by a full bottom-up tree pass.
+
+    Given the posting lists of a query, one linear pass computes for every
+    node the bitset of keywords contained in its subtree; from it, full
+    containers, SLCA and ELCA sets follow directly.  Time is
+    [O(size-of-tree * k/word)], independent of the posting list sizes —
+    the reference implementation the posting-based algorithms are
+    validated against, and the A2 ablation baseline.
+
+    Semantics (XRank / paper section 1):
+    - a node is a {b full container} iff its subtree contains at least one
+      occurrence of every keyword;
+    - {b SLCA} = full containers with no full-container descendant;
+    - {b ELCA} ("interesting LCA nodes") = nodes that still contain every
+      keyword after excluding the subtrees of their full-container
+      descendants. *)
+
+type masks = {
+  own : int array;  (** node id -> {!Xks_index.Klist.t} of its own content *)
+  sub : int array;  (** node id -> keywords in its whole subtree *)
+}
+
+val compute_masks : Xks_xml.Tree.t -> int array array -> masks
+(** [compute_masks doc postings] with one posting list per keyword. *)
+
+val full_containers : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all full containers, in document order. *)
+
+val slca : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all SLCA nodes, in document order. *)
+
+val elca : Xks_xml.Tree.t -> int array array -> int list
+(** Ids of all ELCA nodes, in document order. *)

@@ -1,0 +1,1 @@
+lib/metrics/metrics.ml: Format Fragment List Pipeline Xks_core

@@ -1,0 +1,48 @@
+type t = {
+  lca_count : int;
+  common : int;
+  cfr : float;
+  apr : float;
+  apr' : float;
+  max_apr : float;
+}
+
+let compare_results ~validrtf ~maxmatch =
+  let open Xks_core in
+  if validrtf.Pipeline.lcas <> maxmatch.Pipeline.lcas then
+    invalid_arg "Metrics.compare_results: different LCA sets";
+  let pairs = List.combine validrtf.fragments maxmatch.fragments in
+  let lca_count = List.length pairs in
+  let ratios =
+    List.map
+      (fun (v, x) ->
+        let discarded = Fragment.diff_count x v in
+        if Fragment.size x = 0 then 0.0
+        else float_of_int discarded /. float_of_int (Fragment.size x))
+      pairs
+  in
+  let common =
+    List.fold_left2
+      (fun acc (v, x) r ->
+        ignore r;
+        if Fragment.equal v x then acc + 1 else acc)
+      0 pairs ratios
+  in
+  let sum = List.fold_left ( +. ) 0.0 ratios in
+  let max_apr = List.fold_left max 0.0 ratios in
+  (* |V - V ∩ X|: the fragments ValidRTF and MaxMatch disagree on. *)
+  let count = lca_count - common in
+  let apr = if count = 0 then 0.0 else sum /. float_of_int count in
+  let apr' =
+    if count <= 1 then 0.0 else (sum -. max_apr) /. float_of_int (count - 1)
+  in
+  let cfr =
+    if lca_count = 0 then 1.0
+    else float_of_int common /. float_of_int lca_count
+  in
+  { lca_count; common; cfr; apr; apr'; max_apr }
+
+let pp fmt m =
+  Format.fprintf fmt
+    "LCAs=%d common=%d CFR=%.3f APR=%.3f APR'=%.3f MaxAPR=%.3f" m.lca_count
+    m.common m.cfr m.apr m.apr' m.max_apr

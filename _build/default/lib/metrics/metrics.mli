@@ -1,0 +1,34 @@
+(** Effectiveness metrics of the paper's Section 5.1.
+
+    For a query, let [A] be the LCA nodes, [V] the meaningful RTFs from
+    ValidRTF and [X] the fragments from (revised) MaxMatch — [V] and [X]
+    are rooted at the same LCAs.  Then:
+
+    - CFR (common fragment ratio) [= |V ∩ X| / |A|]: the fraction of LCAs
+      where both algorithms return the identical node set;
+    - per-LCA pruning ratio [xv_a = |x_a - v_a| / |x_a|]: the share of
+      MaxMatch's fragment that ValidRTF discards on top;
+    - Max APR [= max_a xv_a];
+    - APR [= sum_a xv_a / |V - V ∩ X|]: the mean ratio over the fragments
+      ValidRTF further prunes;
+    - APR' : APR recomputed after discarding the single extreme fragment
+      attaining Max APR (the paper splits it out because the extreme RTF —
+      usually the one rooted near the document root — masks the regular
+      ones). *)
+
+type t = {
+  lca_count : int;  (** |A| *)
+  common : int;  (** |V ∩ X| *)
+  cfr : float;  (** 1.0 when both algorithms agree everywhere; 1.0 for empty [A] *)
+  apr : float;  (** 0.0 when ValidRTF prunes nothing further *)
+  apr' : float;  (** APR without the extreme fragment *)
+  max_apr : float;
+}
+
+val compare_results :
+  validrtf:Xks_core.Pipeline.result -> maxmatch:Xks_core.Pipeline.result -> t
+(** Compute all metrics.  The two results must come from the same query
+    and LCA algorithm (same roots in the same order).
+    @raise Invalid_argument when the LCA lists differ. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/relational/plan.ml: Array Format Hashtbl List String Table Value

@@ -1,0 +1,1 @@
+lib/relational/plan.mli: Format Table Value

@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Hashtbl List String Value Xks_util

@@ -1,0 +1,184 @@
+type pred =
+  | Eq of string * Value.t
+  | Ne of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | True
+
+type t =
+  | Scan of Table.t
+  | Filter of pred * t
+  | Project of string list * t
+  | Hash_join of { left : t; right : t; on : string * string }
+  | Sort of string list * t
+  | Distinct of t
+  | Limit of int * t
+
+type result = { header : string list; rows : Value.t array list }
+
+let position header c =
+  let rec go i = function
+    | [] -> invalid_arg ("Plan: unknown column " ^ c)
+    | h :: _ when String.equal h c -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 header
+
+let rec eval_pred header row = function
+  | True -> true
+  | Eq (c, v) -> Value.equal row.(position header c) v
+  | Ne (c, v) -> not (Value.equal row.(position header c) v)
+  | Lt (c, v) -> Value.compare row.(position header c) v < 0
+  | Le (c, v) -> Value.compare row.(position header c) v <= 0
+  | Gt (c, v) -> Value.compare row.(position header c) v > 0
+  | Ge (c, v) -> Value.compare row.(position header c) v >= 0
+  | And (a, b) -> eval_pred header row a && eval_pred header row b
+  | Or (a, b) -> eval_pred header row a || eval_pred header row b
+  | Not p -> not (eval_pred header row p)
+
+(* Pull an indexable [Eq] conjunct out of a predicate for a given table:
+   returns the lookup pair and the residual predicate. *)
+let rec indexable_eq table = function
+  | Eq (c, v) when Table.has_index table c -> Some ((c, v), True)
+  | And (a, b) -> (
+      match indexable_eq table a with
+      | Some (hit, residual) -> Some (hit, And (residual, b))
+      | None -> (
+          match indexable_eq table b with
+          | Some (hit, residual) -> Some (hit, And (a, residual))
+          | None -> None))
+  | Eq _ | Ne _ | Lt _ | Le _ | Gt _ | Ge _ | Or _ | Not _ | True -> None
+
+let rec run = function
+  | Scan table ->
+      let rows = ref [] in
+      Table.iter (fun r -> rows := r :: !rows) table;
+      { header = Table.columns table; rows = List.rev !rows }
+  | Filter (pred, Scan table) -> (
+      (* Index-aware scan: peel one equality on an indexed column. *)
+      match indexable_eq table pred with
+      | Some ((c, v), residual) ->
+          let header = Table.columns table in
+          let rows =
+            Table.lookup table ~column:c v
+            |> List.filter (fun r -> eval_pred header r residual)
+          in
+          { header; rows }
+      | None -> run_filter pred (run (Scan table)))
+  | Filter (pred, sub) -> run_filter pred (run sub)
+  | Project (cols, sub) ->
+      let r = run sub in
+      let positions = List.map (position r.header) cols in
+      {
+        header = cols;
+        rows =
+          List.map
+            (fun row -> Array.of_list (List.map (fun i -> row.(i)) positions))
+            r.rows;
+      }
+  | Hash_join { left; right; on = lc, rc } ->
+      let l = run left and r = run right in
+      let lpos = position l.header lc and rpos = position r.header rc in
+      (* Right-side columns that clash get a "right." prefix. *)
+      let right_header =
+        List.map
+          (fun c -> if List.mem c l.header then "right." ^ c else c)
+          r.header
+      in
+      List.iter
+        (fun c ->
+          if List.mem c l.header then
+            invalid_arg ("Plan: ambiguous column " ^ c))
+        right_header;
+      let buckets = Hashtbl.create 64 in
+      List.iter
+        (fun row ->
+          let key = row.(rpos) in
+          Hashtbl.replace buckets key
+            (match Hashtbl.find_opt buckets key with
+            | Some rs -> row :: rs
+            | None -> [ row ]))
+        r.rows;
+      let rows =
+        List.concat_map
+          (fun lrow ->
+            match Hashtbl.find_opt buckets lrow.(lpos) with
+            | Some rrows ->
+                List.rev_map (fun rrow -> Array.append lrow rrow) rrows
+            | None -> [])
+          l.rows
+      in
+      { header = l.header @ right_header; rows }
+  | Sort (cols, sub) ->
+      let r = run sub in
+      let positions = List.map (position r.header) cols in
+      let compare_rows a b =
+        let rec go = function
+          | [] -> 0
+          | p :: rest ->
+              let c = Value.compare a.(p) b.(p) in
+              if c <> 0 then c else go rest
+        in
+        go positions
+      in
+      { r with rows = List.stable_sort compare_rows r.rows }
+  | Distinct sub ->
+      let r = run sub in
+      let seen = Hashtbl.create 64 in
+      let rows =
+        List.filter
+          (fun row ->
+            let key = Array.to_list row in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          r.rows
+      in
+      { r with rows }
+  | Limit (n, sub) ->
+      let r = run sub in
+      { r with rows = List.filteri (fun i _ -> i < n) r.rows }
+
+and run_filter pred r =
+  { r with rows = List.filter (fun row -> eval_pred r.header row pred) r.rows }
+
+let select ?(where = True) ?order_by ?limit ?(distinct = false) ~columns table
+    =
+  let plan = Filter (where, Scan table) in
+  let plan = Project (columns, plan) in
+  let plan = if distinct then Distinct plan else plan in
+  let plan =
+    match order_by with Some cols -> Sort (cols, plan) | None -> plan
+  in
+  let plan = match limit with Some n -> Limit (n, plan) | None -> plan in
+  run plan
+
+let pp_result fmt r =
+  let widths =
+    List.map
+      (fun c ->
+        List.fold_left
+          (fun w row ->
+            max w (String.length (Value.to_string row.(position r.header c))))
+          (String.length c) r.rows)
+      r.header
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  Format.fprintf fmt "%s@."
+    (String.concat " | " (List.map2 pad r.header widths));
+  List.iter
+    (fun row ->
+      let cells =
+        List.map2
+          (fun c w -> pad (Value.to_string row.(position r.header c)) w)
+          r.header widths
+      in
+      Format.fprintf fmt "%s@." (String.concat " | " cells))
+    r.rows

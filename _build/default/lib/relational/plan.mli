@@ -1,0 +1,49 @@
+(** Query plans over {!Table}s.
+
+    A plan is a tree of the classic operators — scan, filter, project,
+    hash join, sort, limit, distinct — evaluated bottom-up into a
+    materialised row list whose columns are tracked by name.  {!select}
+    builds the common case and performs the one optimisation the paper's
+    workload needs: an equality predicate on an indexed column turns the
+    scan into an index lookup. *)
+
+type pred =
+  | Eq of string * Value.t
+  | Ne of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | True
+
+type t =
+  | Scan of Table.t
+  | Filter of pred * t
+  | Project of string list * t
+  | Hash_join of { left : t; right : t; on : string * string }
+      (** equi-join; all columns of both sides are kept, right-side
+          column names prefixed with the right table alias only when
+          they clash *)
+  | Sort of string list * t  (** ascending, by the listed columns *)
+  | Distinct of t
+  | Limit of int * t
+
+type result = { header : string list; rows : Value.t array list }
+
+val run : t -> result
+(** Evaluate a plan.
+    @raise Invalid_argument when a predicate, projection, join or sort
+    references an unknown column, or when a join would produce an
+    ambiguous duplicate column. *)
+
+val select :
+  ?where:pred -> ?order_by:string list -> ?limit:int -> ?distinct:bool ->
+  columns:string list -> Table.t -> result
+(** [select ~columns table] — the common query shape, with index-aware
+    equality filtering. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** Tabular rendering, for the CLI and the tests. *)

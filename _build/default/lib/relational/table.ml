@@ -1,0 +1,92 @@
+type index = (Value.t, Xks_util.Int_vec.t) Hashtbl.t
+
+type t = {
+  table_name : string;
+  cols : string array;
+  mutable rows : Value.t array array;
+  mutable count : int;
+  indexes : (string * int * index) list;  (* column, position, index *)
+}
+
+let column_position cols c =
+  let rec go i =
+    if i = Array.length cols then raise Not_found
+    else if String.equal cols.(i) c then i
+    else go (i + 1)
+  in
+  go 0
+
+let create ?(indexed = []) ~name columns =
+  let cols = Array.of_list columns in
+  let distinct = List.sort_uniq String.compare columns in
+  if List.length distinct <> Array.length cols then
+    invalid_arg "Table.create: duplicate column";
+  let indexes =
+    List.map
+      (fun c ->
+        match column_position cols c with
+        | i -> (c, i, Hashtbl.create 64)
+        | exception Not_found -> invalid_arg "Table.create: unknown indexed column")
+      indexed
+  in
+  { table_name = name; cols; rows = Array.make 16 [||]; count = 0; indexes }
+
+let name t = t.table_name
+let columns t = Array.to_list t.cols
+let row_count t = t.count
+let column_index t c = column_position t.cols c
+
+let insert t row =
+  if Array.length row <> Array.length t.cols then
+    invalid_arg "Table.insert: arity mismatch";
+  if t.count = Array.length t.rows then begin
+    let rows = Array.make (2 * t.count) [||] in
+    Array.blit t.rows 0 rows 0 t.count;
+    t.rows <- rows
+  end;
+  t.rows.(t.count) <- row;
+  List.iter
+    (fun (_, pos, idx) ->
+      let key = row.(pos) in
+      let bucket =
+        match Hashtbl.find_opt idx key with
+        | Some b -> b
+        | None ->
+            let b = Xks_util.Int_vec.create () in
+            Hashtbl.add idx key b;
+            b
+      in
+      Xks_util.Int_vec.push bucket t.count)
+    t.indexes;
+  t.count <- t.count + 1
+
+let insert_all t rows = List.iter (insert t) rows
+
+let row t i =
+  if i < 0 || i >= t.count then invalid_arg "Table.row";
+  t.rows.(i)
+
+let iter f t =
+  for i = 0 to t.count - 1 do
+    f t.rows.(i)
+  done
+
+let find_index t column =
+  List.find_opt (fun (c, _, _) -> String.equal c column) t.indexes
+
+let lookup t ~column v =
+  match find_index t column with
+  | Some (_, _, idx) -> (
+      match Hashtbl.find_opt idx v with
+      | Some bucket ->
+          let acc = ref [] in
+          Xks_util.Int_vec.iter (fun i -> acc := t.rows.(i) :: !acc) bucket;
+          List.rev !acc
+      | None -> [])
+  | None ->
+      let pos = column_position t.cols column in
+      let acc = ref [] in
+      iter (fun row -> if Value.equal row.(pos) v then acc := row :: !acc) t;
+      List.rev !acc
+
+let has_index t column = find_index t column <> None

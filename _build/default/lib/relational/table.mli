@@ -1,0 +1,43 @@
+(** In-memory tables with named columns and hash indexes.
+
+    A table stores rows as {!Value.t} arrays under a fixed list of column
+    names.  Equality (hash) indexes can be declared per column; inserts
+    maintain them and {!lookup} uses them.  This is deliberately the
+    smallest engine that supports the paper's Section 5.2 workload:
+    point lookups on the [value] table, scans, and joins (via
+    {!Plan}). *)
+
+type t
+
+val create : ?indexed:string list -> name:string -> string list -> t
+(** [create ~name columns] makes an empty table.  [indexed] lists columns
+    to maintain hash indexes on.
+    @raise Invalid_argument on duplicate/unknown column names. *)
+
+val name : t -> string
+val columns : t -> string list
+val row_count : t -> int
+
+val column_index : t -> string -> int
+(** Position of a column.
+    @raise Not_found on an unknown column. *)
+
+val insert : t -> Value.t array -> unit
+(** @raise Invalid_argument if the arity does not match. *)
+
+val insert_all : t -> Value.t array list -> unit
+
+val row : t -> int -> Value.t array
+(** [row t i] is the [i]-th row in insertion order (shared, do not
+    mutate).
+    @raise Invalid_argument when out of range. *)
+
+val iter : (Value.t array -> unit) -> t -> unit
+(** Full scan in insertion order. *)
+
+val lookup : t -> column:string -> Value.t -> Value.t array list
+(** [lookup t ~column v] returns the rows whose [column] equals [v], in
+    insertion order — via the hash index when the column has one, by
+    full scan otherwise. *)
+
+val has_index : t -> string -> bool

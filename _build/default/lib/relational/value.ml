@@ -1,0 +1,23 @@
+type t = Int of int | Text of string
+
+let int i = Int i
+let text s = Text s
+
+let compare a b =
+  match (a, b) with
+  | Int a, Int b -> Int.compare a b
+  | Text a, Text b -> String.compare a b
+  | Int _, Text _ -> -1
+  | Text _, Int _ -> 1
+
+let equal a b = compare a b = 0
+let to_string = function Int i -> string_of_int i | Text s -> s
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let as_int = function
+  | Int i -> i
+  | Text _ -> invalid_arg "Value.as_int: text cell"
+
+let as_text = function
+  | Text s -> s
+  | Int _ -> invalid_arg "Value.as_text: integer cell"

@@ -1,0 +1,26 @@
+(** Cell values of the relational substrate.
+
+    The paper's experimental platform shreds XML into PostgreSQL tables;
+    this small in-memory engine (see {!Table}, {!Plan}) plays that role.
+    Cells are dynamically typed: integers and text cover the label /
+    element / value tables of Section 5.2. *)
+
+type t = Int of int | Text of string
+
+val int : int -> t
+val text : string -> t
+
+val compare : t -> t -> int
+(** Total order: all [Int]s precede all [Text]s; within a type the
+    natural order. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val as_int : t -> int
+(** @raise Invalid_argument on a [Text]. *)
+
+val as_text : t -> string
+(** @raise Invalid_argument on an [Int]. *)

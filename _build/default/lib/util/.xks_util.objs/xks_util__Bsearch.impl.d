@@ -1,0 +1,1 @@
+lib/util/bsearch.ml: Array

@@ -1,0 +1,30 @@
+(** Binary searches over sorted [int array]s.
+
+    Posting lists are arrays of node ids sorted ascending (node ids are
+    preorder ranks, so ascending id order is document order).  The LCA
+    algorithms need the classic left-match / right-match probes. *)
+
+val lower_bound : int array -> int -> int
+(** [lower_bound a x] is the smallest index [i] with [a.(i) >= x], or
+    [Array.length a] when every element is smaller. *)
+
+val upper_bound : int array -> int -> int
+(** [upper_bound a x] is the smallest index [i] with [a.(i) > x], or
+    [Array.length a] when every element is [<= x]. *)
+
+val left_match : int array -> int -> int option
+(** [left_match a x] is the largest element [<= x], if any — the paper's
+    [lm] probe. *)
+
+val right_match : int array -> int -> int option
+(** [right_match a x] is the smallest element [>= x], if any — the
+    paper's [rm] probe. *)
+
+val mem : int array -> int -> bool
+(** Membership in a sorted array. *)
+
+val count_in_range : int array -> lo:int -> hi:int -> int
+(** Number of elements [x] with [lo <= x <= hi]. *)
+
+val first_in_range : int array -> lo:int -> hi:int -> int option
+(** Smallest element [x] with [lo <= x <= hi], if any. *)

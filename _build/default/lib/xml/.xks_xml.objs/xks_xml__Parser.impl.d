@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer List Printf Sax String Tree

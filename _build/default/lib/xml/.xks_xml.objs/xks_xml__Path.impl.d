@@ -1,0 +1,1 @@
+lib/xml/path.ml: Array Hashtbl Int List Printf String Tree

@@ -1,0 +1,1 @@
+lib/xml/stopwords.ml: Hashtbl List

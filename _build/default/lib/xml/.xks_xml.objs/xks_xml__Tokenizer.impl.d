@@ -1,0 +1,1 @@
+lib/xml/tokenizer.ml: List Stopwords String

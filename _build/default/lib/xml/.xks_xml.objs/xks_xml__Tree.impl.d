@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Array Dewey Format Label List String Tokenizer

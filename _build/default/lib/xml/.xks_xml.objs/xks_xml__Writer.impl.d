@@ -1,0 +1,1 @@
+lib/xml/writer.ml: Array Buffer Fun List String Tree

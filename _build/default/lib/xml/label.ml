@@ -1,0 +1,35 @@
+type t = int
+
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable next : int;
+}
+
+let create_table () =
+  { by_name = Hashtbl.create 64; names = Array.make 64 ""; next = 0 }
+
+let intern tbl s =
+  match Hashtbl.find_opt tbl.by_name s with
+  | Some id -> id
+  | None ->
+      let id = tbl.next in
+      if id = Array.length tbl.names then begin
+        let names = Array.make (2 * id) "" in
+        Array.blit tbl.names 0 names 0 id;
+        tbl.names <- names
+      end;
+      tbl.names.(id) <- s;
+      tbl.next <- id + 1;
+      Hashtbl.add tbl.by_name s id;
+      id
+
+let find tbl s = Hashtbl.find_opt tbl.by_name s
+
+let name tbl id =
+  if id < 0 || id >= tbl.next then invalid_arg "Label.name: unknown id";
+  tbl.names.(id)
+
+let count tbl = tbl.next
+let equal = Int.equal
+let compare = Int.compare

@@ -1,0 +1,33 @@
+(** Interned element labels.
+
+    The paper's relational encoding keeps a [label] table mapping each
+    distinct element name to a small integer id; we do the same so label
+    equality during pruning is an integer comparison.  A {!table} is the
+    mutable intern pool; a {!t} is an id valid for the table that produced
+    it. *)
+
+type t = int
+(** An interned label id.  Ids are dense, starting at 0, in first-seen
+    order. *)
+
+type table
+(** A mutable label intern pool. *)
+
+val create_table : unit -> table
+
+val intern : table -> string -> t
+(** [intern tbl name] returns the id for [name], allocating a fresh id on
+    first sight. *)
+
+val find : table -> string -> t option
+(** [find tbl name] is the id for [name] if already interned. *)
+
+val name : table -> t -> string
+(** [name tbl id] is the string for [id].
+    @raise Invalid_argument if [id] was not produced by [tbl]. *)
+
+val count : table -> int
+(** Number of distinct labels interned so far. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,77 @@
+exception Error of { line : int; col : int; message : string }
+
+(* The DOM view is a fold over the SAX event stream: a stack of open
+   elements accumulates text and children until the matching end tag. *)
+
+type frame = {
+  f_label : string;
+  f_attrs : (string * string) list;
+  f_text : Buffer.t;
+  mutable f_children : Tree.builder list;  (* reversed *)
+}
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let trim_text s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do
+    incr i
+  done;
+  while !j >= !i && is_space s.[!j] do
+    decr j
+  done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+let builder_of_events feed =
+  let stack = ref [] in
+  let root = ref None in
+  let on_start name attrs =
+    stack :=
+      { f_label = name; f_attrs = attrs; f_text = Buffer.create 16;
+        f_children = [] }
+      :: !stack
+  in
+  let on_text s =
+    match !stack with
+    | frame :: _ -> Buffer.add_string frame.f_text s
+    | [] -> assert false (* SAX only emits text inside the root element *)
+  in
+  let on_end _name =
+    match !stack with
+    | frame :: rest ->
+        let built =
+          Tree.elem ~attrs:frame.f_attrs
+            ~text:(trim_text (Buffer.contents frame.f_text))
+            frame.f_label
+            (List.rev frame.f_children)
+        in
+        (match rest with
+        | parent :: _ -> parent.f_children <- built :: parent.f_children
+        | [] -> root := Some built);
+        stack := rest
+    | [] -> assert false (* ends pair with starts *)
+  in
+  feed (Sax.handler ~on_start ~on_text ~on_end ());
+  match !root with
+  | Some b -> b
+  | None -> assert false (* SAX guarantees exactly one root element *)
+
+let translate f =
+  try f () with
+  | Sax.Error { line; col; message } -> raise (Error { line; col; message })
+
+let parse_string src =
+  translate (fun () ->
+      Tree.build (builder_of_events (fun h -> Sax.parse_string h src)))
+
+let parse_file path =
+  translate (fun () ->
+      Tree.build (builder_of_events (fun h -> Sax.parse_file h path)))
+
+let error_to_string = function
+  | Error { line; col; message } ->
+      Some
+        (Printf.sprintf "XML parse error at line %d, column %d: %s" line col
+           message)
+  | _ -> None

@@ -1,0 +1,28 @@
+(** XML parser.
+
+    A small, dependency-free XML parser sufficient for the document
+    classes the paper processes (DBLP, XMark): elements, attributes,
+    character data, CDATA sections, comments, processing instructions and
+    the XML declaration, with the five predefined entities and numeric
+    character references.  DTDs are skipped, namespaces are kept verbatim
+    in names.
+
+    Mixed content is flattened: all character data directly under an
+    element is concatenated (whitespace-trimmed at both ends) into the
+    element's [text], preserving the paper's model in which a node has a
+    label and an optional value. *)
+
+exception Error of { line : int; col : int; message : string }
+(** Raised on malformed input, with 1-based position. *)
+
+val parse_string : string -> Tree.t
+(** [parse_string s] parses a complete XML document.
+    @raise Error on malformed input. *)
+
+val parse_file : string -> Tree.t
+(** [parse_file path] reads and parses [path].
+    @raise Error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
+val error_to_string : exn -> string option
+(** Render an {!Error}; [None] for other exceptions. *)

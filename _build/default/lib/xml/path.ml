@@ -1,0 +1,229 @@
+type axis = Child | Descendant
+type nametest = Name of string | Any
+
+type pred =
+  | Attr_exists of string
+  | Attr_eq of string * string
+  | Child_text_eq of string * string
+  | Self_text_eq of string
+  | Position of int
+
+type step = { axis : axis; test : nametest; preds : pred list }
+type t = step list
+
+(* --- parsing --- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg =
+  invalid_arg
+    (Printf.sprintf "Path.parse: %s at offset %d in %S" msg c.pos c.src)
+
+let eof c = c.pos >= String.length c.src
+let peek c = c.src.[c.pos]
+let advance c = c.pos <- c.pos + 1
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.src && String.sub c.src c.pos n = s
+
+let eat c s =
+  if looking_at c s then c.pos <- c.pos + String.length s
+  else fail c (Printf.sprintf "expected %S" s)
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = '.'
+
+let parse_name c =
+  let start = c.pos in
+  while (not (eof c)) && is_name_char (peek c) do
+    advance c
+  done;
+  if c.pos = start then fail c "expected a name";
+  String.sub c.src start (c.pos - start)
+
+let parse_quoted c =
+  if eof c || peek c <> '\'' then fail c "expected a quoted value";
+  advance c;
+  let start = c.pos in
+  while (not (eof c)) && peek c <> '\'' do
+    advance c
+  done;
+  if eof c then fail c "unterminated quoted value";
+  let v = String.sub c.src start (c.pos - start) in
+  advance c;
+  v
+
+let parse_pred c =
+  eat c "[";
+  let pred =
+    if eof c then fail c "empty predicate"
+    else if peek c = '@' then begin
+      advance c;
+      let name = parse_name c in
+      if (not (eof c)) && peek c = '=' then begin
+        advance c;
+        Attr_eq (name, parse_quoted c)
+      end
+      else Attr_exists name
+    end
+    else if peek c = '.' then begin
+      advance c;
+      eat c "=";
+      Self_text_eq (parse_quoted c)
+    end
+    else if peek c >= '0' && peek c <= '9' then begin
+      let start = c.pos in
+      while (not (eof c)) && peek c >= '0' && peek c <= '9' do
+        advance c
+      done;
+      let n = int_of_string (String.sub c.src start (c.pos - start)) in
+      if n < 1 then fail c "positions are 1-based";
+      Position n
+    end
+    else begin
+      let name = parse_name c in
+      eat c "=";
+      Child_text_eq (name, parse_quoted c)
+    end
+  in
+  eat c "]";
+  pred
+
+let parse_step c axis =
+  let test =
+    if (not (eof c)) && peek c = '*' then begin
+      advance c;
+      Any
+    end
+    else Name (parse_name c)
+  in
+  let preds = ref [] in
+  while (not (eof c)) && peek c = '[' do
+    preds := parse_pred c :: !preds
+  done;
+  { axis; test; preds = List.rev !preds }
+
+let parse src =
+  let c = { src; pos = 0 } in
+  if eof c || peek c <> '/' then fail c "paths must start with '/' or '//'";
+  let steps = ref [] in
+  while not (eof c) do
+    let axis =
+      if looking_at c "//" then begin
+        eat c "//";
+        Descendant
+      end
+      else begin
+        eat c "/";
+        Child
+      end
+    in
+    steps := parse_step c axis :: !steps
+  done;
+  match List.rev !steps with
+  | [] -> fail c "empty path"
+  | steps -> steps
+
+let pred_to_string = function
+  | Attr_exists a -> Printf.sprintf "[@%s]" a
+  | Attr_eq (a, v) -> Printf.sprintf "[@%s='%s']" a v
+  | Child_text_eq (n, v) -> Printf.sprintf "[%s='%s']" n v
+  | Self_text_eq v -> Printf.sprintf "[.='%s']" v
+  | Position n -> Printf.sprintf "[%d]" n
+
+let to_string steps =
+  String.concat ""
+    (List.map
+       (fun s ->
+         (match s.axis with Child -> "/" | Descendant -> "//")
+         ^ (match s.test with Name n -> n | Any -> "*")
+         ^ String.concat "" (List.map pred_to_string s.preds))
+       steps)
+
+(* --- evaluation --- *)
+
+let name_matches doc test (n : Tree.node) =
+  match test with Any -> true | Name name -> Tree.label_name doc n = name
+
+let non_position_pred doc (n : Tree.node) = function
+  | Attr_exists a -> List.mem_assoc a n.attrs
+  | Attr_eq (a, v) -> (
+      match List.assoc_opt a n.attrs with
+      | Some value -> String.equal value v
+      | None -> false)
+  | Child_text_eq (name, v) ->
+      Array.exists
+        (fun (c : Tree.node) ->
+          Tree.label_name doc c = name && String.equal c.text v)
+        n.children
+  | Self_text_eq v -> String.equal n.text v
+  | Position _ -> true (* handled separately, per parent group *)
+
+(* Apply one predicate to candidates grouped by parent (XPath position
+   semantics: the index counts matches under the same parent). *)
+let apply_pred doc pred candidates =
+  match pred with
+  | Position k ->
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun (n : Tree.node) ->
+          let count =
+            match Hashtbl.find_opt seen n.parent with Some c -> c | None -> 0
+          in
+          Hashtbl.replace seen n.parent (count + 1);
+          count + 1 = k)
+        candidates
+  | p -> List.filter (fun n -> non_position_pred doc n p) candidates
+
+let dedup_sorted nodes =
+  let sorted =
+    List.sort (fun (a : Tree.node) b -> Int.compare a.id b.id) nodes
+  in
+  let rec uniq = function
+    | (a : Tree.node) :: (b :: _ as rest) ->
+        if a.id = b.id then uniq rest else a :: uniq rest
+    | l -> l
+  in
+  uniq sorted
+
+let eval doc steps =
+  (* The context starts at a virtual super-root whose only child is the
+     root element, so "/a" tests the root element's name. *)
+  let initial = `Super in
+  let children_of = function
+    | `Super -> [ Tree.root doc ]
+    | `Node (n : Tree.node) -> Array.to_list n.children
+  in
+  let descendants_of ctx =
+    match ctx with
+    | `Super -> Tree.fold (fun acc n -> n :: acc) [] doc |> List.rev
+    | `Node (n : Tree.node) ->
+        List.init (n.subtree_end - n.id) (fun i -> Tree.node doc (n.id + 1 + i))
+  in
+  let step_once ctxs step =
+    let candidates =
+      List.concat_map
+        (fun ctx ->
+          (match step.axis with
+          | Child -> children_of ctx
+          | Descendant -> descendants_of ctx)
+          |> List.filter (name_matches doc step.test))
+        ctxs
+      |> dedup_sorted
+    in
+    List.fold_left (fun cs p -> apply_pred doc p cs) candidates step.preds
+  in
+  let final =
+    List.fold_left
+      (fun ctxs step ->
+        List.map (fun n -> `Node n) (step_once ctxs step))
+      [ initial ] steps
+  in
+  dedup_sorted
+    (List.map (function `Node n -> n | `Super -> assert false) final)
+
+let eval_ids doc steps = List.map (fun (n : Tree.node) -> n.id) (eval doc steps)

@@ -1,0 +1,36 @@
+(** A small XPath subset.
+
+    Enough of XPath to scope keyword searches structurally (the paper's
+    related work integrates keyword proximity search into structural
+    query languages; {!Xks_core.Scoped} builds on this module):
+
+    - absolute paths: [/site/regions] (the first step names the root
+      element);
+    - child ([/]) and descendant ([//]) steps, with name tests or [*];
+    - predicates, any number per step:
+      {ul {- [[@id]] — attribute presence;}
+          {- [[@id='x']] — attribute equality;}
+          {- [[name='text']] — a child element with that label and exact
+             (trimmed) text;}
+          {- [[.='text']] — the node's own text;}
+          {- [[3]] — position among the step's matches under the same
+             parent (1-based).}}
+
+    Examples: [//book/title], [/dblp/article[@key='x']/author],
+    [//player[position='forward']], [//item[2]]. *)
+
+type t
+(** A parsed path expression. *)
+
+val parse : string -> t
+(** @raise Invalid_argument on a malformed expression, with a message
+    pointing at the offending part. *)
+
+val to_string : t -> string
+(** Canonical rendering (round-trips through {!parse}). *)
+
+val eval : Tree.t -> t -> Tree.node list
+(** All matching nodes, in document order, without duplicates. *)
+
+val eval_ids : Tree.t -> t -> int list
+(** Ids of {!eval}'s nodes. *)

@@ -1,0 +1,320 @@
+exception Error of { line : int; col : int; message : string }
+
+type handler = {
+  on_start : string -> (string * string) list -> unit;
+  on_text : string -> unit;
+  on_end : string -> unit;
+}
+
+let handler ?(on_start = fun _ _ -> ()) ?(on_text = fun _ -> ())
+    ?(on_end = fun _ -> ()) () =
+  { on_start; on_text; on_end }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;
+}
+
+let fail st message =
+  raise (Error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let eof st = st.pos >= String.length st.src
+let peek st = st.src.[st.pos]
+
+let advance st =
+  if st.src.[st.pos] = '\n' then begin
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  end;
+  st.pos <- st.pos + 1
+
+let next st =
+  if eof st then fail st "unexpected end of input";
+  let c = peek st in
+  advance st;
+  c
+
+let expect st c =
+  let g = next st in
+  if g <> c then fail st (Printf.sprintf "expected %C, got %C" c g)
+
+let expect_string st s = String.iter (fun c -> expect st c) s
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if eof st || not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Decode a reference after the '&' has been consumed. *)
+let parse_reference st =
+  let start = st.pos in
+  let rec find () =
+    if eof st then fail st "unterminated entity reference"
+    else if peek st = ';' then begin
+      let body = String.sub st.src start (st.pos - start) in
+      advance st;
+      body
+    end
+    else begin
+      advance st;
+      find ()
+    end
+  in
+  let body = find () in
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ -> (
+      let code =
+        if String.length body > 1 && body.[0] = '#' then
+          let digits = String.sub body 1 (String.length body - 1) in
+          if String.length digits > 0 && (digits.[0] = 'x' || digits.[0] = 'X')
+          then
+            int_of_string_opt
+              ("0x" ^ String.sub digits 1 (String.length digits - 1))
+          else int_of_string_opt digits
+        else None
+      in
+      match code with
+      | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+      | Some _ -> "?" (* non-ASCII references degrade to a placeholder *)
+      | None -> fail st (Printf.sprintf "unknown entity &%s;" body))
+
+let parse_attr_value st =
+  let quote = next st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a quoted value";
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    let c = next st in
+    if c = quote then Buffer.contents buf
+    else if c = '&' then begin
+      Buffer.add_string buf (parse_reference st);
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf c;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_attrs st =
+  let rec loop acc =
+    skip_space st;
+    if eof st then fail st "unterminated tag"
+    else
+      match peek st with
+      | '>' | '/' | '?' -> List.rev acc
+      | _ ->
+          let name = parse_name st in
+          skip_space st;
+          expect st '=';
+          skip_space st;
+          let value = parse_attr_value st in
+          loop ((name, value) :: acc)
+  in
+  loop []
+
+let skip_until st stop =
+  let n = String.length stop in
+  let rec loop () =
+    if st.pos + n > String.length st.src then fail st ("unterminated " ^ stop)
+    else if String.sub st.src st.pos n = stop then
+      for _ = 1 to n do
+        advance st
+      done
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_doctype st =
+  let depth = ref 1 in
+  while !depth > 0 do
+    match next st with
+    | '<' -> incr depth
+    | '>' -> decr depth
+    | '[' ->
+        let bd = ref 1 in
+        while !bd > 0 do
+          match next st with
+          | '[' -> incr bd
+          | ']' -> decr bd
+          | _ -> ()
+        done
+    | _ -> ()
+  done
+
+(* Element content after the opening tag; [stack]-free: recursion depth
+   mirrors element depth, as in the DOM parser. *)
+let rec parse_content h st name =
+  let text = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length text > 0 then begin
+      h.on_text (Buffer.contents text);
+      Buffer.clear text
+    end
+  in
+  let rec loop () =
+    if eof st then fail st (Printf.sprintf "unterminated element <%s>" name)
+    else if peek st = '<' then begin
+      advance st;
+      if eof st then fail st "dangling '<'"
+      else if peek st = '/' then begin
+        flush_text ();
+        advance st;
+        let closing = parse_name st in
+        if closing <> name then
+          fail st
+            (Printf.sprintf "mismatched closing tag </%s> for <%s>" closing
+               name);
+        skip_space st;
+        expect st '>';
+        h.on_end name
+      end
+      else if looking_at st "!--" then begin
+        expect_string st "!--";
+        skip_until st "-->";
+        loop ()
+      end
+      else if looking_at st "![CDATA[" then begin
+        expect_string st "![CDATA[";
+        let start = st.pos in
+        let rec cdata () =
+          if looking_at st "]]>" then begin
+            Buffer.add_string text (String.sub st.src start (st.pos - start));
+            expect_string st "]]>"
+          end
+          else if eof st then fail st "unterminated CDATA section"
+          else begin
+            advance st;
+            cdata ()
+          end
+        in
+        cdata ();
+        loop ()
+      end
+      else if peek st = '?' then begin
+        advance st;
+        skip_until st "?>";
+        loop ()
+      end
+      else begin
+        flush_text ();
+        parse_element h st;
+        loop ()
+      end
+    end
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string text (parse_reference st);
+      loop ()
+    end
+    else begin
+      Buffer.add_char text (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+(* An element whose '<' has been consumed. *)
+and parse_element h st =
+  let name = parse_name st in
+  let attrs = parse_attrs st in
+  if eof st then fail st "unterminated tag";
+  match next st with
+  | '/' ->
+      expect st '>';
+      h.on_start name attrs;
+      h.on_end name
+  | '>' ->
+      h.on_start name attrs;
+      parse_content h st name
+  | c -> fail st (Printf.sprintf "unexpected %C in tag" c)
+
+let parse_prolog st =
+  let rec loop () =
+    skip_space st;
+    if eof st then fail st "no root element"
+    else if looking_at st "<?" then begin
+      expect_string st "<?";
+      skip_until st "?>";
+      loop ()
+    end
+    else if looking_at st "<!--" then begin
+      expect_string st "<!--";
+      skip_until st "-->";
+      loop ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      expect_string st "<!";
+      skip_doctype st;
+      loop ()
+    end
+    else if peek st = '<' then advance st
+    else fail st "expected '<'"
+  in
+  loop ()
+
+let parse_string h src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  parse_prolog st;
+  parse_element h st;
+  let rec epilogue () =
+    skip_space st;
+    if not (eof st) then
+      if looking_at st "<!--" then begin
+        expect_string st "<!--";
+        skip_until st "-->";
+        epilogue ()
+      end
+      else if looking_at st "<?" then begin
+        expect_string st "<?";
+        skip_until st "?>";
+        epilogue ()
+      end
+      else fail st "content after the root element"
+  in
+  epilogue ()
+
+let parse_file h path =
+  let ic = open_in_bin path in
+  let finally () = close_in_noerr ic in
+  Fun.protect ~finally (fun () ->
+      let n = in_channel_length ic in
+      parse_string h (really_input_string ic n))
+
+let error_to_string = function
+  | Error { line; col; message } ->
+      Some
+        (Printf.sprintf "XML parse error at line %d, column %d: %s" line col
+           message)
+  | _ -> None

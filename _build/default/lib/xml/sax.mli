@@ -1,0 +1,44 @@
+(** Streaming (SAX-style) XML parsing.
+
+    Emits begin-element / text / end-element events through callbacks
+    without materialising a tree — the same event stream {!Parser} builds
+    its {!Tree.t} from.  Use this to scan documents whose tree would be
+    the dominant memory cost (e.g. counting words, shredding straight
+    into an index).
+
+    The full input text is held in memory (no incremental refill); what
+    streaming saves is the tree, typically several times the text size.
+
+    Supported syntax is exactly {!Parser}'s: elements, attributes,
+    character data with the predefined entities and numeric references,
+    CDATA, comments, processing instructions, an optional DOCTYPE
+    (skipped). *)
+
+exception Error of { line : int; col : int; message : string }
+(** Raised on malformed input, with 1-based position. *)
+
+type handler = {
+  on_start : string -> (string * string) list -> unit;
+      (** element name and attributes, at every opening (or
+          self-closing) tag *)
+  on_text : string -> unit;
+      (** one call per character-data or CDATA segment, decoded,
+          untrimmed; never called with [""] *)
+  on_end : string -> unit;  (** element name, at every closing tag *)
+}
+
+val handler :
+  ?on_start:(string -> (string * string) list -> unit) ->
+  ?on_text:(string -> unit) -> ?on_end:(string -> unit) -> unit -> handler
+(** A handler with the given callbacks; omitted ones do nothing. *)
+
+val parse_string : handler -> string -> unit
+(** Scan a complete document, firing events in document order.
+    @raise Error on malformed input. *)
+
+val parse_file : handler -> string -> unit
+(** @raise Error on malformed input.
+    @raise Sys_error if the file cannot be read. *)
+
+val error_to_string : exn -> string option
+(** Render an {!Error}; [None] for other exceptions. *)

@@ -1,0 +1,13 @@
+(** English stop words.
+
+    The paper filters stop words out of node contents before indexing
+    (using Lucene's filter and the syger.com English list).  This module
+    provides the classic English stop-word list so that tokenisation
+    reproduces that preprocessing. *)
+
+val is_stopword : string -> bool
+(** [is_stopword w] is [true] iff the {e lowercase} word [w] is in the
+    built-in English stop-word list. *)
+
+val all : unit -> string list
+(** The full list, lowercase, in unspecified order. *)

@@ -1,0 +1,30 @@
+let normalize = String.lowercase_ascii
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let iter_words ?(keep_stopwords = false) f s =
+  let n = String.length s in
+  let emit start stop =
+    if stop > start then begin
+      let w = normalize (String.sub s start (stop - start)) in
+      if keep_stopwords || not (Stopwords.is_stopword w) then f w
+    end
+  in
+  let rec loop i start =
+    if i = n then emit start i
+    else if is_word_char s.[i] then loop (i + 1) start
+    else begin
+      emit start i;
+      loop (i + 1) (i + 1)
+    end
+  in
+  loop 0 0
+
+let words ?keep_stopwords s =
+  let acc = ref [] in
+  iter_words ?keep_stopwords (fun w -> acc := w :: !acc) s;
+  List.rev !acc
+
+let word_set ?keep_stopwords s =
+  List.sort_uniq String.compare (words ?keep_stopwords s)

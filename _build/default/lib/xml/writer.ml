@@ -1,0 +1,78 @@
+let escape buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~attr:true s;
+  Buffer.contents buf
+
+let render_node buf ~indent t (n : Tree.node) =
+  let pad depth =
+    if indent > 0 then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (depth * indent) ' ')
+    end
+  in
+  let rec go depth (n : Tree.node) =
+    pad depth;
+    let name = Tree.label_name t n in
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape buf ~attr:true v;
+        Buffer.add_char buf '"')
+      n.attrs;
+    if n.text = "" && Array.length n.children = 0 then
+      Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      if n.text <> "" then begin
+        if Array.length n.children > 0 then pad (depth + 1);
+        escape buf ~attr:false n.text
+      end;
+      Array.iter (go (depth + 1)) n.children;
+      if Array.length n.children > 0 then pad depth;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+    end
+  in
+  go 0 n
+
+let subtree_to_string ?(indent = 2) t n =
+  let buf = Buffer.create 1024 in
+  render_node buf ~indent t n;
+  Buffer.contents buf
+
+let to_string ?(declaration = true) ?(indent = 2) t =
+  let buf = Buffer.create 4096 in
+  if declaration then begin
+    Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if indent > 0 then Buffer.add_char buf '\n'
+  end;
+  Buffer.add_string buf (subtree_to_string ~indent t (Tree.root t));
+  if indent > 0 then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_file ?declaration ?indent path t =
+  let oc = open_out_bin path in
+  let finally () = close_out_noerr oc in
+  Fun.protect ~finally (fun () ->
+      output_string oc (to_string ?declaration ?indent t))

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List QCheck2 QCheck_alcotest Xks_core Xks_index Xks_xml

@@ -1,0 +1,1 @@
+test/test_axioms.ml: Alcotest Helpers Printf QCheck2 Random String Xks_core Xks_xml

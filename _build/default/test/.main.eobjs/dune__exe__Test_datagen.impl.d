@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Fun List Printf String Xks_datagen Xks_index Xks_xml

@@ -1,0 +1,1 @@
+test/test_dewey.ml: Alcotest Helpers List Printf QCheck2 Xks_xml

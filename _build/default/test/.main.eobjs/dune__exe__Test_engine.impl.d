@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Filename Fun List String Sys Xks_core Xks_datagen Xks_index Xks_xml

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Helpers List Xks_core Xks_datagen Xks_xml

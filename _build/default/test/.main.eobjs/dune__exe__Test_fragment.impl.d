@@ -1,0 +1,1 @@
+test/test_fragment.ml: Alcotest Xks_core Xks_xml

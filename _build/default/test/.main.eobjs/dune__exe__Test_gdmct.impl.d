@@ -1,0 +1,1 @@
+test/test_gdmct.ml: Alcotest Helpers List Printf QCheck2 String Xks_core Xks_index Xks_lca Xks_xml

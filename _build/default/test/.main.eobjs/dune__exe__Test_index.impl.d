@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Format Helpers List QCheck2 String Xks_index Xks_xml

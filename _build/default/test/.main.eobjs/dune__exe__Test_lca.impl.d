@@ -1,0 +1,1 @@
+test/test_lca.ml: Alcotest Array Helpers List Printf QCheck2 String Xks_lca Xks_xml

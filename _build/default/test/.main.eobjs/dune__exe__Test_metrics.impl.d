@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Helpers Printf QCheck2 String Xks_core Xks_metrics

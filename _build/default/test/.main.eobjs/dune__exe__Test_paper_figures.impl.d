@@ -1,0 +1,1 @@
+test/test_paper_figures.ml: Alcotest Array Format Helpers Lazy List Xks_core Xks_datagen Xks_index Xks_lca Xks_xml

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Filename Fun Helpers List QCheck2 Sys Xks_datagen Xks_xml

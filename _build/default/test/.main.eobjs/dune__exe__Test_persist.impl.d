@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Filename Fun Helpers List QCheck2 Sys Xks_core Xks_datagen Xks_index Xks_xml

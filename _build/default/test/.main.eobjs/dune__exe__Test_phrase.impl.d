@@ -1,0 +1,1 @@
+test/test_phrase.ml: Alcotest Array Helpers List QCheck2 Xks_core Xks_index Xks_util Xks_xml

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Format Xks_core Xks_index Xks_xml

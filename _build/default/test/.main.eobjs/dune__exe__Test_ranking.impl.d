@@ -1,0 +1,1 @@
+test/test_ranking.ml: Alcotest Fun Helpers List Printf QCheck2 String Xks_core

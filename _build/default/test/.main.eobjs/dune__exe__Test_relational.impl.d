@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Format Helpers List QCheck2 String Xks_datagen Xks_index Xks_lca Xks_relational Xks_xml

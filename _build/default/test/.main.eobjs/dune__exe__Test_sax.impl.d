@@ -1,0 +1,1 @@
+test/test_sax.ml: Alcotest Helpers List QCheck2 Xks_datagen Xks_index Xks_xml

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Helpers List QCheck2 String Xks_core Xks_index Xks_lca Xks_xml

@@ -1,0 +1,1 @@
+test/test_tokenizer.ml: Alcotest Helpers List QCheck2 String Xks_xml

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Helpers QCheck2 Xks_xml

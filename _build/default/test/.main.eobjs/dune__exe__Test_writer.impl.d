@@ -1,0 +1,1 @@
+test/test_writer.ml: Alcotest Helpers List QCheck2 String Xks_core Xks_datagen Xks_xml

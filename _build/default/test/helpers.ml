@@ -1,0 +1,78 @@
+(* Shared test utilities: tiny-document construction, random document
+   generators for property tests, and common Alcotest checkers. *)
+
+module Tree = Xks_xml.Tree
+module Dewey = Xks_xml.Dewey
+
+let dewey_of_string = Dewey.of_string
+
+(* Id of the node at a paper-style Dewey string, e.g. "0.2.0.3.0". *)
+let id_at doc s =
+  match Tree.find_by_dewey doc (dewey_of_string s) with
+  | Some n -> n.Tree.id
+  | None -> Alcotest.failf "no node at dewey %s" s
+
+let ids_at doc ss = List.map (id_at doc) ss
+
+let dewey_str doc id = Dewey.to_string (Tree.node doc id).Tree.dewey
+let deweys_of doc ids = List.map (dewey_str doc) ids
+
+(* Alcotest checkers. *)
+let sorted_ids = Alcotest.(list int)
+
+let check_ids doc msg expected_deweys actual_ids =
+  Alcotest.(check (list string)) msg expected_deweys (deweys_of doc actual_ids)
+
+let check_fragment doc msg expected_deweys frag =
+  let actual = deweys_of doc (Xks_core.Fragment.members_list frag) in
+  Alcotest.(check (list string))
+    msg
+    (List.sort compare expected_deweys)
+    (List.sort compare actual)
+
+(* Random document generation for QCheck properties.  Small label and word
+   alphabets force the label collisions and keyword sharing the algorithms
+   care about. *)
+let labels = [| "a"; "b"; "c"; "d" |]
+let words = [| "w0"; "w1"; "w2"; "w3"; "w4" |]
+
+let gen_doc_sized =
+  QCheck2.Gen.(
+    sized_size (int_range 1 25) @@ fix (fun self n ->
+        let label = oneofa labels in
+        let text =
+          oneof
+            [
+              return "";
+              map (fun w -> w) (oneofa words);
+              map2 (fun a b -> a ^ " " ^ b) (oneofa words) (oneofa words);
+            ]
+        in
+        if n <= 1 then
+          map2 (fun l t -> Tree.elem ~text:t l []) label text
+        else
+          let child_count = int_range 1 (min 4 n) in
+          bind child_count (fun c ->
+              let sub = self ((n - 1) / c) in
+              map3
+                (fun l t children -> Tree.elem ~text:t l children)
+                label text
+                (list_size (return c) sub))))
+
+let gen_doc = QCheck2.Gen.map Tree.build gen_doc_sized
+
+let print_doc doc = Xks_xml.Writer.to_string ~declaration:false doc
+
+(* A random non-empty keyword query over the small word alphabet. *)
+let gen_query =
+  QCheck2.Gen.(
+    map
+      (fun ws -> List.sort_uniq compare ws)
+      (list_size (int_range 1 3) (oneofa words)))
+
+let postings_for doc query_words =
+  let idx = Xks_index.Inverted.build doc in
+  Array.of_list (List.map (Xks_index.Inverted.posting idx) query_words)
+
+(* Run an Alcotest-compatible QCheck test. *)
+let qtest = QCheck_alcotest.to_alcotest

@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "xks"
+    [
+      ("util", Test_util.tests);
+      ("dewey", Test_dewey.tests);
+      ("tokenizer", Test_tokenizer.tests);
+      ("parser", Test_parser.tests);
+      ("writer", Test_writer.tests);
+      ("sax", Test_sax.tests);
+      ("path", Test_path.tests);
+      ("tree", Test_tree.tests);
+      ("index", Test_index.tests);
+      ("persist", Test_persist.tests);
+      ("relational", Test_relational.tests);
+      ("stream_index", Test_stream_index.tests);
+      ("phrase", Test_phrase.tests);
+      ("gdmct", Test_gdmct.tests);
+      ("lca", Test_lca.tests);
+      ("rtf", Test_rtf.tests);
+      ("fragment", Test_fragment.tests);
+      ("query", Test_query.tests);
+      ("prune", Test_prune.tests);
+      ("explain", Test_explain.tests);
+      ("spec", Test_spec.tests);
+      ("axioms", Test_axioms.tests);
+      ("metrics", Test_metrics.tests);
+      ("datagen", Test_datagen.tests);
+      ("engine", Test_engine.tests);
+      ("ranking", Test_ranking.tests);
+      ("extensions", Test_extensions.tests);
+      ("paper_figures", Test_paper_figures.tests);
+    ]

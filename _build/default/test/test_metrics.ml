@@ -1,0 +1,100 @@
+(* CFR / APR / APR' / Max APR (Section 5.1). *)
+
+module Metrics = Xks_metrics.Metrics
+module Engine = Xks_core.Engine
+
+let metrics_for xml query =
+  let engine = Engine.of_string xml in
+  let validrtf = Engine.run ~algorithm:Engine.Validrtf engine query in
+  let maxmatch = Engine.run ~algorithm:Engine.Maxmatch engine query in
+  Metrics.compare_results ~validrtf ~maxmatch
+
+let test_identical_results () =
+  (* Distinct keyword sets per sibling: both algorithms agree. *)
+  let m = metrics_for "<r><a>w1</a><b>w2</b></r>" [ "w1"; "w2" ] in
+  Alcotest.(check int) "lcas" 1 m.Metrics.lca_count;
+  Alcotest.(check (float 1e-9)) "cfr" 1.0 m.Metrics.cfr;
+  Alcotest.(check (float 1e-9)) "apr" 0.0 m.Metrics.apr;
+  Alcotest.(check (float 1e-9)) "max apr" 0.0 m.Metrics.max_apr
+
+let test_validrtf_prunes_more () =
+  (* Q4-style redundancy: MaxMatch keeps the duplicate, ValidRTF prunes
+     2 of the 9 fragment nodes. *)
+  let m =
+    metrics_for
+      "<team><name>grizzlies</name><players><player><pos>forward</pos></player><player><pos>guard</pos></player><player><pos>forward</pos></player></players></team>"
+      [ "grizzlies"; "pos" ]
+  in
+  Alcotest.(check int) "one lca" 1 m.Metrics.lca_count;
+  Alcotest.(check (float 1e-9)) "cfr 0" 0.0 m.Metrics.cfr;
+  Alcotest.(check (float 1e-3)) "apr = 2/9" (2.0 /. 9.0) m.Metrics.apr;
+  Alcotest.(check (float 1e-3)) "max apr = apr (single)" m.Metrics.apr m.Metrics.max_apr;
+  Alcotest.(check (float 1e-9)) "apr' drops the extreme" 0.0 m.Metrics.apr'
+
+let test_validrtf_keeps_more () =
+  (* False-positive case: ValidRTF keeps a node MaxMatch drops; fragments
+     differ but ValidRTF discards nothing, so APR stays 0 while CFR < 1. *)
+  let m =
+    metrics_for "<r><t>w1</t><abs>w1 w2</abs><z>w3</z></r>"
+      [ "w1"; "w2"; "w3" ]
+  in
+  Alcotest.(check (float 1e-9)) "cfr" 0.0 m.Metrics.cfr;
+  Alcotest.(check (float 1e-9)) "apr" 0.0 m.Metrics.apr
+
+let test_mismatched_lcas_rejected () =
+  let engine = Engine.of_string "<r><a>w1</a><b>w1 w2</b></r>" in
+  let validrtf = Engine.run ~algorithm:Engine.Validrtf engine [ "w1"; "w2" ] in
+  let original =
+    Engine.run ~algorithm:Engine.Maxmatch_original engine [ "w1" ]
+  in
+  Alcotest.check_raises "different LCA sets"
+    (Invalid_argument "Metrics.compare_results: different LCA sets")
+    (fun () -> ignore (Metrics.compare_results ~validrtf ~maxmatch:original))
+
+let test_empty_results () =
+  let m = metrics_for "<r><a>w1</a></r>" [ "w1"; "w9" ] in
+  Alcotest.(check int) "no lcas" 0 m.Metrics.lca_count;
+  Alcotest.(check (float 1e-9)) "cfr 1 by convention" 1.0 m.Metrics.cfr
+
+(* Properties over random documents. *)
+
+let gen_case = QCheck2.Gen.pair Helpers.gen_doc Helpers.gen_query
+
+let print_case (doc, ws) =
+  Printf.sprintf "query=%s doc=%s" (String.concat "," ws) (Helpers.print_doc doc)
+
+let metrics_of (doc, ws) =
+  let engine = Engine.of_doc doc in
+  let validrtf = Engine.run ~algorithm:Engine.Validrtf engine ws in
+  let maxmatch = Engine.run ~algorithm:Engine.Maxmatch engine ws in
+  Metrics.compare_results ~validrtf ~maxmatch
+
+let prop_ranges =
+  QCheck2.Test.make ~name:"metric ranges: 0 <= APR' <= MaxAPR < 1, CFR in [0,1]"
+    ~count:300 ~print:print_case gen_case (fun case ->
+      let m = metrics_of case in
+      m.Metrics.cfr >= 0.0
+      && m.Metrics.cfr <= 1.0
+      && m.Metrics.apr >= 0.0
+      && m.Metrics.apr' >= 0.0
+      && m.Metrics.apr' <= m.Metrics.max_apr +. 1e-9
+      && m.Metrics.max_apr < 1.0
+      && m.Metrics.common <= m.Metrics.lca_count)
+
+let prop_cfr_one_iff_all_common =
+  QCheck2.Test.make ~name:"CFR = 1 iff every fragment is common" ~count:300
+    ~print:print_case gen_case (fun case ->
+      let m = metrics_of case in
+      (abs_float (m.Metrics.cfr -. 1.0) < 1e-9)
+      = (m.Metrics.common = m.Metrics.lca_count))
+
+let tests =
+  [
+    Alcotest.test_case "identical results" `Quick test_identical_results;
+    Alcotest.test_case "ValidRTF prunes more" `Quick test_validrtf_prunes_more;
+    Alcotest.test_case "ValidRTF keeps more" `Quick test_validrtf_keeps_more;
+    Alcotest.test_case "mismatched LCA sets rejected" `Quick test_mismatched_lcas_rejected;
+    Alcotest.test_case "empty results" `Quick test_empty_results;
+    Helpers.qtest prop_ranges;
+    Helpers.qtest prop_cfr_one_iff_all_common;
+  ]

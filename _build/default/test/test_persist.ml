@@ -1,0 +1,98 @@
+(* Binary index persistence: round-trips, format validation. *)
+
+module Inverted = Xks_index.Inverted
+module Persist = Xks_index.Persist
+
+let with_temp f =
+  let path = Filename.temp_file "xks_persist" ".idx" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let sample_doc () = Xks_datagen.Paper_fixtures.publications ()
+
+let test_roundtrip () =
+  let doc = sample_doc () in
+  let idx = Inverted.build doc in
+  with_temp (fun path ->
+      Persist.save path idx;
+      let idx' = Persist.load path doc in
+      Alcotest.(check int) "vocabulary size" (Inverted.vocabulary_size idx)
+        (Inverted.vocabulary_size idx');
+      List.iter
+        (fun w ->
+          Alcotest.(check (list int))
+            ("posting of " ^ w)
+            (Array.to_list (Inverted.posting idx w))
+            (Array.to_list (Inverted.posting idx' w));
+          Alcotest.(check int)
+            ("occurrences of " ^ w)
+            (Inverted.occurrence_count idx w)
+            (Inverted.occurrence_count idx' w))
+        (Inverted.vocabulary idx))
+
+let test_loaded_index_searches () =
+  let doc = sample_doc () in
+  let idx = Inverted.build doc in
+  with_temp (fun path ->
+      Persist.save path idx;
+      let idx' = Persist.load path doc in
+      let run idx = Xks_core.Validrtf.run idx Xks_datagen.Paper_fixtures.q2 in
+      let frags r = List.map Xks_core.Fragment.members_list r.Xks_core.Pipeline.fragments in
+      Alcotest.(check (list (list int)))
+        "same search results" (frags (run idx)) (frags (run idx')))
+
+let test_rejects_garbage () =
+  with_temp (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "not an index";
+      close_out oc;
+      match Persist.load path (sample_doc ()) with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "garbage accepted")
+
+let test_rejects_wrong_document () =
+  let doc = sample_doc () in
+  let idx = Inverted.build doc in
+  with_temp (fun path ->
+      Persist.save path idx;
+      let tiny = Xks_xml.Parser.parse_string "<a/>" in
+      match Persist.load path tiny with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "mismatched document accepted")
+
+let test_dump_of_table_inverse () =
+  let doc = sample_doc () in
+  let idx = Inverted.build doc in
+  let rows = Persist.dump idx in
+  let idx' = Persist.of_table doc rows in
+  Alcotest.(check bool) "rows round-trip" true (Persist.dump idx' = rows)
+
+let test_of_table_validation () =
+  let doc = sample_doc () in
+  let bad_order = [ ("w", 2, [| 3; 1 |]) ] in
+  (match Persist.of_table doc bad_order with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unsorted posting accepted");
+  let bad_range = [ ("w", 1, [| 10_000 |]) ] in
+  match Persist.of_table doc bad_range with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "out-of-range id accepted"
+
+let prop_roundtrip_random =
+  QCheck2.Test.make ~name:"persistence round-trip on random documents"
+    ~count:100 ~print:Helpers.print_doc Helpers.gen_doc (fun doc ->
+      let idx = Inverted.build doc in
+      let idx' = Persist.of_table doc (Persist.dump idx) in
+      Persist.dump idx = Persist.dump idx')
+
+let tests =
+  [
+    Alcotest.test_case "round-trip through a file" `Quick test_roundtrip;
+    Alcotest.test_case "loaded index searches identically" `Quick
+      test_loaded_index_searches;
+    Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+    Alcotest.test_case "rejects a mismatched document" `Quick
+      test_rejects_wrong_document;
+    Alcotest.test_case "dump/of_table inverse" `Quick test_dump_of_table_inverse;
+    Alcotest.test_case "of_table validation" `Quick test_of_table_validation;
+    Helpers.qtest prop_roundtrip_random;
+  ]

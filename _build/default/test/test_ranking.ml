@@ -1,0 +1,94 @@
+(* The ranking score and its orderings. *)
+
+module Ranking = Xks_core.Ranking
+module Engine = Xks_core.Engine
+module Query = Xks_core.Query
+module Fragment = Xks_core.Fragment
+module Rtf = Xks_core.Rtf
+
+let result_of xml ws =
+  let engine = Engine.of_string xml in
+  Engine.run engine ws
+
+let test_deeper_root_scores_higher () =
+  (* Same fragment shape at different depths: the deeper LCA wins. *)
+  let r =
+    result_of "<db><wrap><item>w1 w2</item></wrap><item>w1 w2</item></db>"
+      [ "w1"; "w2" ]
+  in
+  let q = r.Xks_core.Pipeline.query in
+  let scores =
+    List.map2 (Ranking.score q) r.Xks_core.Pipeline.rtfs
+      r.Xks_core.Pipeline.fragments
+  in
+  match (r.Xks_core.Pipeline.lcas, scores) with
+  | [ _deep; _shallow ], [ s_deep; s_shallow ] ->
+      (* lcas in document order: 0.0.0 (depth 2) then 0.1 (depth 1). *)
+      Alcotest.(check bool) "deeper first" true (s_deep > s_shallow)
+  | _ -> Alcotest.fail "expected two results"
+
+let test_density_matters () =
+  (* A fragment padded with structural nodes scores below a compact one
+     with the same keyword nodes. *)
+  let r =
+    result_of
+      "<db><a><deep><deeper><k>w1 w2</k></deeper></deep></a></db>"
+      [ "w1"; "w2" ]
+  in
+  let q = r.Xks_core.Pipeline.query in
+  let rtf = List.hd r.Xks_core.Pipeline.rtfs in
+  let compact = List.hd r.Xks_core.Pipeline.fragments in
+  let padded =
+    Fragment.make ~root:rtf.Rtf.lca
+      ~members:(List.init 5 Fun.id (* the whole chain *))
+  in
+  Alcotest.(check bool) "compact beats padded" true
+    (Ranking.score q rtf compact >= Ranking.score q rtf padded)
+
+let test_rank_is_sorted_and_stable () =
+  let r =
+    result_of
+      "<db><x><i>w1 w2</i></x><y><i>w1 w2</i></y><z><i>w1 w2</i></z></db>"
+      [ "w1"; "w2" ]
+  in
+  let ranked = Ranking.rank r in
+  let scores = List.map (fun (s : Ranking.scored) -> s.Ranking.score) ranked in
+  Alcotest.(check (list (float 1e-9))) "descending"
+    (List.sort (Fun.flip compare) scores)
+    scores;
+  (* Equal scores: document order of the roots. *)
+  let roots = List.map (fun (s : Ranking.scored) -> s.Ranking.rtf.Rtf.lca) ranked in
+  Alcotest.(check (list int)) "ties in document order"
+    (List.sort compare roots) roots
+
+let test_score_positive () =
+  let r = result_of "<r><a>w1</a></r>" [ "w1" ] in
+  let q = r.Xks_core.Pipeline.query in
+  List.iter2
+    (fun rtf frag ->
+      Alcotest.(check bool) "positive" true (Ranking.score q rtf frag > 0.0))
+    r.Xks_core.Pipeline.rtfs r.Xks_core.Pipeline.fragments
+
+let prop_rank_preserves_multiset =
+  QCheck2.Test.make ~name:"rank returns every fragment exactly once"
+    ~count:200
+    ~print:(fun (doc, ws) ->
+      Printf.sprintf "query=%s doc=%s" (String.concat "," ws)
+        (Helpers.print_doc doc))
+    QCheck2.Gen.(pair Helpers.gen_doc Helpers.gen_query)
+    (fun (doc, ws) ->
+      let engine = Engine.of_doc doc in
+      let r = Engine.run engine ws in
+      let ranked = Ranking.rank r in
+      List.sort compare
+        (List.map (fun (s : Ranking.scored) -> s.Ranking.rtf.Rtf.lca) ranked)
+      = List.sort compare r.Xks_core.Pipeline.lcas)
+
+let tests =
+  [
+    Alcotest.test_case "deeper roots score higher" `Quick test_deeper_root_scores_higher;
+    Alcotest.test_case "density matters" `Quick test_density_matters;
+    Alcotest.test_case "rank is sorted, ties stable" `Quick test_rank_is_sorted_and_stable;
+    Alcotest.test_case "scores are positive" `Quick test_score_positive;
+    Helpers.qtest prop_rank_preserves_multiset;
+  ]

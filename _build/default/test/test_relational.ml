@@ -1,0 +1,207 @@
+(* The relational substrate (tables, plans) and the Section 5.2 shredded
+   store built on it. *)
+
+module Value = Xks_relational.Value
+module Table = Xks_relational.Table
+module Plan = Xks_relational.Plan
+module Rel_store = Xks_index.Rel_store
+
+let people () =
+  let t =
+    Table.create ~indexed:[ "city" ] ~name:"people" [ "name"; "city"; "age" ]
+  in
+  Table.insert_all t
+    [
+      [| Value.text "ada"; Value.text "london"; Value.int 36 |];
+      [| Value.text "alan"; Value.text "london"; Value.int 41 |];
+      [| Value.text "grace"; Value.text "boston"; Value.int 85 |];
+      [| Value.text "edsger"; Value.text "austin"; Value.int 72 |];
+    ];
+  t
+
+let names r = List.map (fun row -> Value.to_string row.(0)) r.Plan.rows
+
+(* --- values --- *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int < text" true
+    (Value.compare (Value.int 5) (Value.text "a") < 0);
+  Alcotest.(check int) "int order" (-1) (Value.compare (Value.int 1) (Value.int 2));
+  Alcotest.(check string) "to_string" "5" (Value.to_string (Value.int 5));
+  Alcotest.check_raises "as_int on text" (Invalid_argument "Value.as_int: text cell")
+    (fun () -> ignore (Value.as_int (Value.text "x")))
+
+(* --- tables --- *)
+
+let test_table_basics () =
+  let t = people () in
+  Alcotest.(check int) "row count" 4 (Table.row_count t);
+  Alcotest.(check (list string)) "columns" [ "name"; "city"; "age" ] (Table.columns t);
+  Alcotest.(check bool) "index present" true (Table.has_index t "city");
+  Alcotest.(check bool) "no index" false (Table.has_index t "name");
+  Alcotest.(check int) "column position" 2 (Table.column_index t "age")
+
+let test_table_lookup () =
+  let t = people () in
+  let by_index = Table.lookup t ~column:"city" (Value.text "london") in
+  Alcotest.(check int) "indexed lookup" 2 (List.length by_index);
+  let by_scan = Table.lookup t ~column:"name" (Value.text "grace") in
+  Alcotest.(check int) "scan lookup" 1 (List.length by_scan);
+  Alcotest.(check int) "miss" 0
+    (List.length (Table.lookup t ~column:"city" (Value.text "paris")))
+
+let test_table_validation () =
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Table.create: duplicate column") (fun () ->
+      ignore (Table.create ~name:"t" [ "a"; "a" ]));
+  Alcotest.check_raises "unknown indexed column"
+    (Invalid_argument "Table.create: unknown indexed column") (fun () ->
+      ignore (Table.create ~indexed:[ "b" ] ~name:"t" [ "a" ]));
+  let t = Table.create ~name:"t" [ "a" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.insert: arity mismatch")
+    (fun () -> Table.insert t [||])
+
+(* --- plans --- *)
+
+let test_select_where_order () =
+  let r =
+    Plan.select
+      ~where:(Plan.Gt ("age", Value.int 40))
+      ~order_by:[ "name" ] ~columns:[ "name" ] (people ())
+  in
+  Alcotest.(check (list string)) "filter + sort" [ "alan"; "edsger"; "grace" ]
+    (names r)
+
+let test_select_indexed_path () =
+  (* Equality on the indexed column must produce the same rows as the
+     scan path (plus residual predicate). *)
+  let t = people () in
+  let where = Plan.And (Plan.Eq ("city", Value.text "london"), Plan.Ge ("age", Value.int 40)) in
+  let indexed = Plan.select ~where ~columns:[ "name" ] t in
+  Alcotest.(check (list string)) "index + residual" [ "alan" ] (names indexed)
+
+let test_limit_distinct () =
+  let r =
+    Plan.select ~distinct:true ~order_by:[ "city" ] ~columns:[ "city" ]
+      (people ())
+  in
+  Alcotest.(check (list string)) "distinct cities"
+    [ "austin"; "boston"; "london" ]
+    (names r);
+  let r = Plan.select ~limit:2 ~columns:[ "name" ] (people ()) in
+  Alcotest.(check int) "limit" 2 (List.length r.Plan.rows)
+
+let test_hash_join () =
+  let cities =
+    Table.create ~name:"cities" [ "city_name"; "country" ]
+  in
+  Table.insert_all cities
+    [
+      [| Value.text "london"; Value.text "uk" |];
+      [| Value.text "boston"; Value.text "usa" |];
+    ];
+  let plan =
+    Plan.Project
+      ( [ "name"; "country" ],
+        Plan.Hash_join
+          { left = Scan (people ()); right = Scan cities; on = ("city", "city_name") } )
+  in
+  let r = Plan.run plan in
+  Alcotest.(check int) "matched rows" 3 (List.length r.Plan.rows);
+  let pairs =
+    List.map
+      (fun row -> (Value.to_string row.(0), Value.to_string row.(1)))
+      r.Plan.rows
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair string string)))
+    "join content"
+    [ ("ada", "uk"); ("alan", "uk"); ("grace", "usa") ]
+    pairs
+
+let test_unknown_column_rejected () =
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Plan: unknown column nope") (fun () ->
+      ignore (Plan.select ~columns:[ "nope" ] (people ())))
+
+let test_pp_result () =
+  let r = Plan.select ~columns:[ "name"; "age" ] (people ()) in
+  let s = Format.asprintf "%a" Plan.pp_result r in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name")
+
+(* --- the shredded store --- *)
+
+let store_and_doc () =
+  let doc = Xks_datagen.Paper_fixtures.publications () in
+  (Rel_store.of_doc doc, doc)
+
+let test_store_tables () =
+  let store, doc = store_and_doc () in
+  Alcotest.(check int) "one element row per node"
+    (Xks_xml.Tree.size doc)
+    (Table.row_count (Rel_store.element_table store));
+  Alcotest.(check bool) "label rows" true
+    (Table.row_count (Rel_store.label_table store) > 0);
+  Alcotest.(check bool) "value rows" true
+    (Table.row_count (Rel_store.value_table store) > 0)
+
+let test_sql_postings_match_inverted () =
+  let store, doc = store_and_doc () in
+  let idx = Xks_index.Inverted.build doc in
+  List.iter
+    (fun w ->
+      Alcotest.(check (list int))
+        ("postings of " ^ w)
+        (Array.to_list (Xks_index.Inverted.posting idx w))
+        (Array.to_list (Rel_store.keyword_node_ids store w)))
+    [ "liu"; "keyword"; "xml"; "title"; "vldb"; "skyline"; "nosuchword" ]
+
+let test_label_path_and_id () =
+  let store, doc = store_and_doc () in
+  let article = (Xks_xml.Tree.node doc (Helpers.id_at doc "0.2.0")).Xks_xml.Tree.dewey in
+  let path = Rel_store.label_path store article in
+  Alcotest.(check int) "path length = depth + 1" 3 (List.length path);
+  (match Rel_store.label_id store "article" with
+  | Some id -> Alcotest.(check int) "last path entry is the node's label" id
+      (List.nth path 2)
+  | None -> Alcotest.fail "article label missing");
+  Alcotest.(check bool) "unknown label" true (Rel_store.label_id store "zzz" = None)
+
+let test_full_pipeline_via_sql () =
+  (* Algorithm 1 with getKeywordNodes served by the relational store. *)
+  let store, doc = store_and_doc () in
+  let postings = Rel_store.postings_via_sql store Xks_datagen.Paper_fixtures.q2 in
+  let lcas = Xks_lca.Indexed_stack.elca doc postings in
+  Helpers.check_ids doc "same LCAs as the inverted-index path"
+    [ "0.2.0"; "0.2.0.3.0" ] lcas
+
+let prop_sql_postings_agree =
+  QCheck2.Test.make ~name:"SQL postings = inverted index on random docs"
+    ~count:100 ~print:Helpers.print_doc Helpers.gen_doc (fun doc ->
+      let store = Rel_store.of_doc doc in
+      let idx = Xks_index.Inverted.build doc in
+      List.for_all
+        (fun w ->
+          Rel_store.keyword_node_ids store w = Xks_index.Inverted.posting idx w)
+        (Array.to_list Helpers.words))
+
+let tests =
+  [
+    Alcotest.test_case "value ordering" `Quick test_value_order;
+    Alcotest.test_case "table basics" `Quick test_table_basics;
+    Alcotest.test_case "table lookup" `Quick test_table_lookup;
+    Alcotest.test_case "table validation" `Quick test_table_validation;
+    Alcotest.test_case "select + where + order" `Quick test_select_where_order;
+    Alcotest.test_case "indexed select path" `Quick test_select_indexed_path;
+    Alcotest.test_case "limit and distinct" `Quick test_limit_distinct;
+    Alcotest.test_case "hash join" `Quick test_hash_join;
+    Alcotest.test_case "unknown columns rejected" `Quick test_unknown_column_rejected;
+    Alcotest.test_case "result rendering" `Quick test_pp_result;
+    Alcotest.test_case "shredded store tables" `Quick test_store_tables;
+    Alcotest.test_case "SQL postings = inverted index" `Quick
+      test_sql_postings_match_inverted;
+    Alcotest.test_case "label path and id" `Quick test_label_path_and_id;
+    Alcotest.test_case "pipeline via the SQL path" `Quick test_full_pipeline_via_sql;
+    Helpers.qtest prop_sql_postings_agree;
+  ]

@@ -1,0 +1,60 @@
+(* Streaming index construction: equality with the tree-based index. *)
+
+module Stream_index = Xks_index.Stream_index
+module Inverted = Xks_index.Inverted
+module Persist = Xks_index.Persist
+module Writer = Xks_xml.Writer
+
+let rows_of_doc doc = Persist.dump (Inverted.build doc)
+
+let test_matches_tree_index () =
+  let doc = Xks_datagen.Paper_fixtures.publications () in
+  Alcotest.(check bool) "same rows" true
+    (Stream_index.rows_of_string (Writer.to_string doc) = rows_of_doc doc)
+
+let test_mixed_content_concatenated () =
+  (* "pre" + "post" concatenate into one word, as in the tree model. *)
+  let src = "<a>pre<b/>post</a>" in
+  let doc = Xks_xml.Parser.parse_string src in
+  Alcotest.(check bool) "mixed content treated alike" true
+    (Stream_index.rows_of_string src = rows_of_doc doc);
+  Alcotest.(check bool) "the concatenated word exists" true
+    (List.exists (fun (w, _, _) -> w = "prepost") (Stream_index.rows_of_string src))
+
+let test_rows_load_into_engine () =
+  let doc = Xks_datagen.Paper_fixtures.publications () in
+  let rows = Stream_index.rows_of_string (Writer.to_string doc) in
+  let idx = Inverted.of_rows doc rows in
+  let r = Xks_core.Validrtf.run idx Xks_datagen.Paper_fixtures.q2 in
+  Alcotest.(check int) "searchable" 2 (List.length r.Xks_core.Pipeline.fragments)
+
+let test_save_file () =
+  let doc = Xks_datagen.Paper_fixtures.team () in
+  let xml_path = Filename.temp_file "xks_stream" ".xml" in
+  let idx_path = Filename.temp_file "xks_stream" ".idx" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove xml_path;
+      Sys.remove idx_path)
+    (fun () ->
+      Writer.to_file xml_path doc;
+      let words = Stream_index.save_file ~input:xml_path ~output:idx_path in
+      Alcotest.(check bool) "some words" true (words > 0);
+      let idx = Persist.load idx_path doc in
+      Alcotest.(check (list int)) "posting intact"
+        (Array.to_list (Inverted.posting (Inverted.build doc) "gassol"))
+        (Array.to_list (Inverted.posting idx "gassol")))
+
+let prop_stream_equals_tree =
+  QCheck2.Test.make ~name:"stream rows = tree rows on random documents"
+    ~count:200 ~print:Helpers.print_doc Helpers.gen_doc (fun doc ->
+      Stream_index.rows_of_string (Writer.to_string doc) = rows_of_doc doc)
+
+let tests =
+  [
+    Alcotest.test_case "matches the tree-based index" `Quick test_matches_tree_index;
+    Alcotest.test_case "mixed content" `Quick test_mixed_content_concatenated;
+    Alcotest.test_case "rows load into an engine" `Quick test_rows_load_into_engine;
+    Alcotest.test_case "save_file" `Quick test_save_file;
+    Helpers.qtest prop_stream_equals_tree;
+  ]

@@ -1,0 +1,68 @@
+module Tokenizer = Xks_xml.Tokenizer
+module Stopwords = Xks_xml.Stopwords
+
+let words = Alcotest.(check (list string))
+
+let test_basic () =
+  words "simple split" [ "xml"; "keyword"; "search" ]
+    (Tokenizer.words "XML keyword search");
+  words "punctuation" [ "liu"; "ranking"; "engines" ]
+    (Tokenizer.words "Liu: ranking... engines!");
+  words "digits kept" [ "edbt"; "2009" ] (Tokenizer.words "EDBT 2009")
+
+let test_stopwords_dropped () =
+  words "stop words removed" [ "skyline"; "query" ]
+    (Tokenizer.words "the skyline of a query");
+  words "kept on demand" [ "the"; "skyline"; "of"; "a"; "query" ]
+    (Tokenizer.words ~keep_stopwords:true "the skyline of a query")
+
+let test_empty_and_separators () =
+  words "empty" [] (Tokenizer.words "");
+  words "only separators" [] (Tokenizer.words " ,;-\t\n");
+  words "hyphenated names split" [ "chi"; "wing"; "wong" ]
+    (Tokenizer.words "Chi-Wing Wong")
+
+let test_word_set () =
+  words "sorted and deduplicated" [ "keyword"; "xml" ]
+    (Tokenizer.word_set "XML keyword xml KEYWORD")
+
+let test_normalize () =
+  Alcotest.(check string) "lowercase" "xml" (Tokenizer.normalize "XML")
+
+let test_stopword_list () =
+  Alcotest.(check bool) "the" true (Stopwords.is_stopword "the");
+  Alcotest.(check bool) "xml" false (Stopwords.is_stopword "xml");
+  Alcotest.(check bool) "list is self-consistent" true
+    (List.for_all Stopwords.is_stopword (Stopwords.all ()))
+
+let prop_words_are_normalized =
+  QCheck2.Test.make ~name:"all produced words are lowercase alphanumeric"
+    ~count:300
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 60))
+    (fun s ->
+      List.for_all
+        (fun w ->
+          w <> ""
+          && String.for_all
+               (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'))
+               w)
+        (Tokenizer.words s))
+
+let prop_word_set_sorted =
+  QCheck2.Test.make ~name:"word_set is sorted and duplicate-free" ~count:300
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 60))
+    (fun s ->
+      let ws = Tokenizer.word_set s in
+      List.sort_uniq String.compare ws = ws)
+
+let tests =
+  [
+    Alcotest.test_case "basic splitting" `Quick test_basic;
+    Alcotest.test_case "stop words" `Quick test_stopwords_dropped;
+    Alcotest.test_case "empty and separators" `Quick test_empty_and_separators;
+    Alcotest.test_case "word_set" `Quick test_word_set;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "stop word list" `Quick test_stopword_list;
+    Helpers.qtest prop_words_are_normalized;
+    Helpers.qtest prop_word_set_sorted;
+  ]

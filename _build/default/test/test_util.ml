@@ -1,0 +1,109 @@
+(* The util substrate: growable int vectors and binary searches. *)
+
+module Int_vec = Xks_util.Int_vec
+module Bsearch = Xks_util.Bsearch
+
+let test_int_vec_basics () =
+  let v = Int_vec.create () in
+  Alcotest.(check int) "empty" 0 (Int_vec.length v);
+  for i = 0 to 99 do
+    Int_vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Int_vec.length v);
+  Alcotest.(check int) "get" 40 (Int_vec.get v 20);
+  Alcotest.(check int) "last" 198 (Int_vec.last v);
+  Int_vec.set v 0 7;
+  Alcotest.(check int) "set" 7 (Int_vec.get v 0);
+  Alcotest.(check int) "pop" 198 (Int_vec.pop v);
+  Alcotest.(check int) "pop shrinks" 99 (Int_vec.length v);
+  Int_vec.clear v;
+  Alcotest.(check int) "clear" 0 (Int_vec.length v)
+
+let test_int_vec_bounds () =
+  let v = Int_vec.create () in
+  Alcotest.check_raises "get" (Invalid_argument "Int_vec: index") (fun () ->
+      ignore (Int_vec.get v 0));
+  Alcotest.check_raises "last" (Invalid_argument "Int_vec.last: empty")
+    (fun () -> ignore (Int_vec.last v));
+  Alcotest.check_raises "pop" (Invalid_argument "Int_vec.pop: empty")
+    (fun () -> ignore (Int_vec.pop v))
+
+let test_int_vec_to_array_iter () =
+  let v = Int_vec.create ~capacity:1 () in
+  List.iter (Int_vec.push v) [ 3; 1; 4; 1; 5 ];
+  Alcotest.(check (list int)) "to_array" [ 3; 1; 4; 1; 5 ]
+    (Array.to_list (Int_vec.to_array v));
+  let acc = ref [] in
+  Int_vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "iter order" [ 5; 1; 4; 1; 3 ] !acc
+
+let test_bsearch_bounds () =
+  let a = [| 1; 3; 3; 5; 9 |] in
+  Alcotest.(check int) "lower_bound present" 1 (Bsearch.lower_bound a 3);
+  Alcotest.(check int) "upper_bound present" 3 (Bsearch.upper_bound a 3);
+  Alcotest.(check int) "lower_bound absent" 3 (Bsearch.lower_bound a 4);
+  Alcotest.(check int) "lower_bound beyond" 5 (Bsearch.lower_bound a 10);
+  Alcotest.(check int) "lower_bound before" 0 (Bsearch.lower_bound a 0)
+
+let test_bsearch_matches () =
+  let a = [| 2; 4; 6 |] in
+  Alcotest.(check (option int)) "left exact" (Some 4) (Bsearch.left_match a 4);
+  Alcotest.(check (option int)) "left between" (Some 4) (Bsearch.left_match a 5);
+  Alcotest.(check (option int)) "left before" None (Bsearch.left_match a 1);
+  Alcotest.(check (option int)) "right exact" (Some 4) (Bsearch.right_match a 4);
+  Alcotest.(check (option int)) "right between" (Some 6) (Bsearch.right_match a 5);
+  Alcotest.(check (option int)) "right after" None (Bsearch.right_match a 7);
+  Alcotest.(check bool) "mem" true (Bsearch.mem a 4);
+  Alcotest.(check bool) "not mem" false (Bsearch.mem a 5)
+
+let test_bsearch_ranges () =
+  let a = [| 2; 4; 6; 8 |] in
+  Alcotest.(check int) "count in range" 2 (Bsearch.count_in_range a ~lo:3 ~hi:7);
+  Alcotest.(check int) "empty range" 0 (Bsearch.count_in_range a ~lo:7 ~hi:3);
+  Alcotest.(check (option int)) "first in range" (Some 4)
+    (Bsearch.first_in_range a ~lo:3 ~hi:7);
+  Alcotest.(check (option int)) "no first" None
+    (Bsearch.first_in_range a ~lo:9 ~hi:20)
+
+let gen_sorted =
+  QCheck2.Gen.(
+    map
+      (fun l -> Array.of_list (List.sort compare l))
+      (list_size (int_range 0 30) (int_range 0 50)))
+
+let prop_bounds_consistent =
+  QCheck2.Test.make ~name:"lower/upper bounds bracket the value" ~count:500
+    QCheck2.Gen.(pair gen_sorted (int_range 0 50))
+    (fun (a, x) ->
+      let lo = Xks_util.Bsearch.lower_bound a x in
+      let hi = Xks_util.Bsearch.upper_bound a x in
+      lo <= hi
+      && (lo = 0 || a.(lo - 1) < x)
+      && (lo = Array.length a || a.(lo) >= x)
+      && (hi = Array.length a || a.(hi) > x)
+      && Xks_util.Bsearch.mem a x = (hi > lo))
+
+let prop_matches_agree_with_spec =
+  QCheck2.Test.make ~name:"left/right match = linear scan" ~count:500
+    QCheck2.Gen.(pair gen_sorted (int_range 0 50))
+    (fun (a, x) ->
+      let l = Array.to_list a in
+      Xks_util.Bsearch.left_match a x
+      = List.fold_left (fun acc y -> if y <= x then Some y else acc) None l
+      && Xks_util.Bsearch.right_match a x
+         = List.fold_left
+             (fun acc y ->
+               match acc with Some _ -> acc | None -> if y >= x then Some y else None)
+             None l)
+
+let tests =
+  [
+    Alcotest.test_case "int_vec basics" `Quick test_int_vec_basics;
+    Alcotest.test_case "int_vec bounds" `Quick test_int_vec_bounds;
+    Alcotest.test_case "int_vec to_array/iter" `Quick test_int_vec_to_array_iter;
+    Alcotest.test_case "bsearch bounds" `Quick test_bsearch_bounds;
+    Alcotest.test_case "bsearch matches" `Quick test_bsearch_matches;
+    Alcotest.test_case "bsearch ranges" `Quick test_bsearch_ranges;
+    Helpers.qtest prop_bounds_consistent;
+    Helpers.qtest prop_matches_agree_with_spec;
+  ]
