@@ -5,21 +5,68 @@
      stats    show document/index statistics and top words
      shred    dump the relational tables (label/element/value)
      gen      emit a synthetic DBLP-like or XMark-like corpus
-*)
+     index    build and persist an inverted index
+     sql      keyword lookup through the relational path
+
+   Exit codes (also in the man pages): 2 = XML parse error, 3 =
+   ingestion limit or query budget error, 4 = corrupt index file. *)
 
 open Cmdliner
+
+let exit_parse_error = 2
+let exit_limit_error = 3
+let exit_corrupt_index = 4
+
+let exits =
+  Cmd.Exit.info exit_parse_error ~doc:"on a malformed XML document."
+  :: Cmd.Exit.info exit_limit_error
+       ~doc:
+         "when an ingestion limit (depth, attributes, text bytes, nodes) or \
+          a query budget is exceeded."
+  :: Cmd.Exit.info exit_corrupt_index
+       ~doc:"on a corrupt, truncated or unreadable index file."
+  :: Cmd.Exit.defaults
+
+let die code msg =
+  prerr_endline msg;
+  exit code
 
 let engine_of_file path =
   try Xks_core.Engine.of_file path with
   | e when Xks_xml.Parser.error_to_string e <> None ->
       (match Xks_xml.Parser.error_to_string e with
-      | Some msg ->
-          prerr_endline msg;
-          exit 2
+      | Some msg -> die exit_parse_error msg
       | None -> assert false)
-  | Sys_error msg ->
-      prerr_endline msg;
-      exit 2
+  | e when Xks_robust.Limits.error_to_string e <> None ->
+      (match Xks_robust.Limits.error_to_string e with
+      | Some msg -> die exit_limit_error msg
+      | None -> assert false)
+  | Sys_error msg -> die exit_parse_error msg
+
+let doc_of_file path =
+  try Xks_xml.Parser.parse_file path with
+  | e when Xks_xml.Parser.error_to_string e <> None ->
+      (match Xks_xml.Parser.error_to_string e with
+      | Some msg -> die exit_parse_error msg
+      | None -> assert false)
+  | e when Xks_robust.Limits.error_to_string e <> None ->
+      (match Xks_robust.Limits.error_to_string e with
+      | Some msg -> die exit_limit_error msg
+      | None -> assert false)
+  | Sys_error msg -> die exit_parse_error msg
+
+(* Load a persisted index against [file]'s document; [repair] rebuilds
+   from the document instead of failing on corruption. *)
+let engine_of_index ~repair idx_path file =
+  let doc = doc_of_file file in
+  if repair then
+    Xks_core.Engine.of_index
+      (Xks_index.Persist.load_or_rebuild idx_path doc)
+  else
+    match Xks_index.Persist.load idx_path doc with
+    | idx -> Xks_core.Engine.of_index idx
+    | exception Failure msg -> die exit_corrupt_index msg
+    | exception Sys_error msg -> die exit_corrupt_index msg
 
 let file_arg =
   Arg.(
@@ -83,8 +130,46 @@ let search_cmd =
             "Show, for every node of each raw RTF, which pruning rule \
              kept or discarded it.")
   in
-  let run file ws algorithm xml_out exact_cid limit snippets explain =
-    let engine = engine_of_file file in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the query.  On exhaustion the engine \
+             degrades to a cheaper algorithm (ValidRTF, revised MaxMatch, \
+             SLCA-only) instead of running on; a note is printed when \
+             results are degraded.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Visited-node budget for the query; degrades like \
+             $(b,--timeout-ms) on exhaustion.")
+  in
+  let run file ws algorithm xml_out exact_cid limit snippets explain timeout_ms
+      max_nodes index_path repair =
+    let engine =
+      match index_path with
+      | Some idx_path -> engine_of_index ~repair idx_path file
+      | None -> engine_of_file file
+    in
+    (match (timeout_ms, max_nodes) with
+    | Some ms, _ when ms < 0 ->
+        die Cmd.Exit.cli_error "xks: --timeout-ms must be non-negative"
+    | _, Some n when n < 0 ->
+        die Cmd.Exit.cli_error "xks: --max-nodes must be non-negative"
+    | _ -> ());
+    let budget =
+      if timeout_ms = None && max_nodes = None then None
+      else
+        Some
+          (Xks_robust.Budget.create ?deadline_ms:timeout_ms
+             ?max_nodes:max_nodes ())
+    in
     let cid_mode =
       if exact_cid then Xks_index.Cid.Exact else Xks_index.Cid.Approx
     in
@@ -92,8 +177,14 @@ let search_cmd =
     let labeled = List.exists (fun w -> String.contains w ':') ws in
     let hits =
       if labeled then Xks_core.Labeled.search ~algorithm engine ws
-      else Xks_core.Engine.search ~algorithm ~cid_mode engine ws
+      else Xks_core.Engine.search ~algorithm ~cid_mode ?budget engine ws
     in
+    (match Xks_core.Engine.degraded_reason hits with
+    | Some reason ->
+        Printf.eprintf
+          "note: query %s exhausted; results degraded to a cheaper algorithm\n"
+          (Xks_robust.Budget.reason_to_string reason)
+    | None -> ());
     let query =
       if labeled then Xks_core.Labeled.query (Xks_core.Engine.index engine) ws
       else Xks_core.Query.make (Xks_core.Engine.index engine) ws
@@ -135,11 +226,31 @@ let search_cmd =
         end)
       hits
   in
+  let index_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"IDX"
+          ~doc:
+            "Load the inverted index from $(docv) (written by $(b,xks \
+             index)) instead of re-indexing the document.  A corrupt or \
+             truncated file exits with code 4 unless $(b,--repair) is \
+             given.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:
+            "With $(b,--index): on corruption, rebuild the index from the \
+             document (and re-save it) instead of failing.")
+  in
   Cmd.v
-    (Cmd.info "search" ~doc:"Run an XML keyword query and print fragments.")
+    (Cmd.info "search" ~exits
+       ~doc:"Run an XML keyword query and print fragments.")
     Term.(
       const run $ file_arg $ keywords $ algorithm $ xml_out $ exact_cid $ limit
-      $ snippets $ explain)
+      $ snippets $ explain $ timeout_ms $ max_nodes $ index_path $ repair)
 
 (* --- stats --- *)
 
@@ -158,8 +269,37 @@ let stats_cmd =
       (Xks_index.Inverted.top_words idx top)
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Document and index statistics.")
+    (Cmd.info "stats" ~exits ~doc:"Document and index statistics.")
     Term.(const run $ file_arg $ top)
+
+(* --- index --- *)
+
+let index_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"IDX" ~doc:"Index output path.")
+  in
+  let run file out =
+    match Xks_index.Stream_index.save_file ~input:file ~output:out () with
+    | words -> Printf.printf "wrote %s (%d distinct words)\n" out words
+    | exception e when Xks_xml.Sax.error_to_string e <> None ->
+        (match Xks_xml.Sax.error_to_string e with
+        | Some msg -> die exit_parse_error msg
+        | None -> assert false)
+    | exception e when Xks_robust.Limits.error_to_string e <> None ->
+        (match Xks_robust.Limits.error_to_string e with
+        | Some msg -> die exit_limit_error msg
+        | None -> assert false)
+    | exception Sys_error msg -> die exit_parse_error msg
+  in
+  Cmd.v
+    (Cmd.info "index" ~exits
+       ~doc:
+         "Stream-index an XML file and persist the checksummed inverted \
+          index (reload it with $(b,xks search --index)).")
+    Term.(const run $ file_arg $ out)
 
 (* --- shred --- *)
 
@@ -177,7 +317,7 @@ let shred_cmd =
     Printf.printf "element table: %d rows\nvalue table: %d rows\n" ne nv
   in
   Cmd.v
-    (Cmd.info "shred"
+    (Cmd.info "shred" ~exits
        ~doc:"Shred a document into the paper's relational tables.")
     Term.(const run $ file_arg)
 
@@ -233,7 +373,7 @@ let gen_cmd =
     Printf.printf "wrote %s (%d nodes)\n" out (Xks_xml.Tree.size doc)
   in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Generate a synthetic corpus as an XML file.")
+    (Cmd.info "gen" ~exits ~doc:"Generate a synthetic corpus as an XML file.")
     Term.(const run $ dataset $ out $ seed $ size)
 
 (* --- sql --- *)
@@ -260,13 +400,41 @@ let sql_cmd =
     Format.printf "%a" Xks_relational.Plan.pp_result result
   in
   Cmd.v
-    (Cmd.info "sql"
+    (Cmd.info "sql" ~exits
        ~doc:
          "Answer a keyword lookup through the relational (shredded-table) \
           path, as the paper's platform does.")
     Term.(const run $ file_arg $ keyword)
 
+(* Escaped exceptions must never reach the user as raw backtraces: map
+   the structured ones to their documented exit codes, anything else to
+   cmdliner's internal-error code. *)
 let () =
   let doc = "XML keyword search with meaningful relaxed tightest fragments" in
-  let info = Cmd.info "xks" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ search_cmd; stats_cmd; shred_cmd; gen_cmd; sql_cmd ]))
+  let info = Cmd.info "xks" ~version:"1.0.0" ~doc ~exits in
+  let group =
+    Cmd.group info
+      [ search_cmd; stats_cmd; shred_cmd; gen_cmd; index_cmd; sql_cmd ]
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception e ->
+      let code, msg =
+        match e with
+        | _ when Xks_xml.Parser.error_to_string e <> None ->
+            (exit_parse_error, Option.get (Xks_xml.Parser.error_to_string e))
+        | _ when Xks_xml.Sax.error_to_string e <> None ->
+            (exit_parse_error, Option.get (Xks_xml.Sax.error_to_string e))
+        | _ when Xks_robust.Limits.error_to_string e <> None ->
+            (exit_limit_error, Option.get (Xks_robust.Limits.error_to_string e))
+        | Xks_robust.Budget.Exhausted reason ->
+            ( exit_limit_error,
+              "query budget exhausted: "
+              ^ Xks_robust.Budget.reason_to_string reason )
+        | Failure msg when String.length msg >= 8 && String.sub msg 0 8 = "Persist:"
+          ->
+            (exit_corrupt_index, msg)
+        | Sys_error msg -> (exit_parse_error, msg)
+        | e -> (Cmd.Exit.internal_error, "internal error: " ^ Printexc.to_string e)
+      in
+      die code ("xks: " ^ msg)

@@ -1,4 +1,5 @@
 module Tree = Xks_xml.Tree
+module Budget = Xks_robust.Budget
 
 type t = { doc : Tree.t; index : Xks_index.Inverted.t }
 type algorithm = Validrtf | Maxmatch | Maxmatch_original
@@ -8,20 +9,22 @@ type hit = {
   rtf : Rtf.t;
   score : float;
   is_slca : bool;
+  degraded : Budget.reason option;
 }
 
 let of_doc doc = { doc; index = Xks_index.Inverted.build doc }
-let of_file path = of_doc (Xks_xml.Parser.parse_file path)
-let of_string s = of_doc (Xks_xml.Parser.parse_string s)
+let of_index index = { doc = Xks_index.Inverted.doc index; index }
+let of_file ?limits path = of_doc (Xks_xml.Parser.parse_file ?limits path)
+let of_string ?limits s = of_doc (Xks_xml.Parser.parse_string ?limits s)
 let doc e = e.doc
 let index e = e.index
 
-let run ?(algorithm = Validrtf) ?cid_mode e ws =
+let run ?(algorithm = Validrtf) ?cid_mode ?budget e ws =
   let q = Query.make e.index ws in
   match algorithm with
-  | Validrtf -> Validrtf.run_query ?cid_mode q
-  | Maxmatch -> Maxmatch.run_revised_query q
-  | Maxmatch_original -> Maxmatch.run_original_query q
+  | Validrtf -> Validrtf.run_query ?cid_mode ?budget q
+  | Maxmatch -> Maxmatch.run_revised_query ?budget q
+  | Maxmatch_original -> Maxmatch.run_original_query ?budget q
 
 let hits_of_result ?(rank = true) (_ : t) result =
   let slcas =
@@ -37,6 +40,7 @@ let hits_of_result ?(rank = true) (_ : t) result =
       rtf = scored.rtf;
       score = scored.score;
       is_slca = List.mem scored.rtf.lca (Lazy.force slcas);
+      degraded = None;
     }
   in
   let scored = Ranking.rank result in
@@ -47,8 +51,39 @@ let hits_of_result ?(rank = true) (_ : t) result =
   in
   List.map hit scored
 
-let search ?algorithm ?cid_mode ?rank e ws =
-  hits_of_result ?rank e (run ?algorithm ?cid_mode e ws)
+(* The graceful-degradation ladder: each cheaper algorithm retries with a
+   renewed node allowance (same absolute deadline); the floor — original
+   MaxMatch, SLCA fragments only — runs unbudgeted so a budgeted search
+   always returns.  Hits carry the first exhaustion reason. *)
+let next_cheaper = function
+  | Validrtf -> Some Maxmatch
+  | Maxmatch -> Some Maxmatch_original
+  | Maxmatch_original -> None
+
+let search ?(algorithm = Validrtf) ?cid_mode ?rank ?budget e ws =
+  let attempt alg budget =
+    hits_of_result ?rank e (run ~algorithm:alg ?cid_mode ?budget e ws)
+  in
+  match budget with
+  | None -> attempt algorithm None
+  | Some b -> (
+      let rec ladder alg b =
+        match attempt alg (Some b) with
+        | hits -> (hits, None)
+        | exception Budget.Exhausted reason -> (
+            match next_cheaper alg with
+            | Some alg' ->
+                let hits, _ = ladder alg' (Budget.renew b) in
+                (hits, Some reason)
+            | None -> (attempt Maxmatch_original None, Some reason))
+      in
+      match ladder algorithm b with
+      | hits, None -> hits
+      | hits, (Some _ as degraded) ->
+          List.map (fun h -> { h with degraded }) hits)
+
+let degraded_reason hits =
+  List.find_map (fun h -> h.degraded) hits
 
 let render ?(xml = false) e hit =
   if xml then Fragment.to_xml e.doc hit.fragment

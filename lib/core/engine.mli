@@ -7,7 +7,13 @@
       let engine = Engine.of_file "catalog.xml" in
       let hits = Engine.search engine [ "xml"; "keyword"; "search" ] in
       List.iter (fun h -> print_string (Engine.render engine h)) hits
-    ]} *)
+    ]}
+
+    Serving untrusted traffic, two robustness hooks apply
+    ({!Xks_robust}): document loading is capped by ingestion
+    {!Xks_robust.Limits}, and {!search} accepts a {!Xks_robust.Budget}
+    under which an expensive query degrades to a cheaper algorithm
+    instead of running away — see {!hit.degraded}. *)
 
 type t
 
@@ -21,16 +27,26 @@ type hit = {
   rtf : Rtf.t;
   score : float;
   is_slca : bool;  (** whether the fragment root is an SLCA node *)
+  degraded : Xks_robust.Budget.reason option;
+      (** [None] for a full-fidelity answer; [Some r] when the query
+          budget ran out and the hits come from a cheaper algorithm
+          further down the ladder (see {!search}) *)
 }
 
 val of_doc : Xks_xml.Tree.t -> t
 (** Index a document already in memory. *)
 
-val of_file : string -> t
-(** Parse and index an XML file.
-    @raise Xks_xml.Parser.Error on malformed XML. *)
+val of_index : Xks_index.Inverted.t -> t
+(** Adopt an already-built index (e.g. {!Xks_index.Persist.load}) and
+    its document. *)
 
-val of_string : string -> t
+val of_file : ?limits:Xks_robust.Limits.t -> string -> t
+(** Parse and index an XML file.
+    @raise Xks_xml.Parser.Error on malformed XML.
+    @raise Xks_robust.Limits.Limit_exceeded when [limits] (default
+    {!Xks_robust.Limits.default}) is crossed. *)
+
+val of_string : ?limits:Xks_robust.Limits.t -> string -> t
 (** Parse and index an XML document given as a string. *)
 
 val doc : t -> Xks_xml.Tree.t
@@ -38,21 +54,37 @@ val index : t -> Xks_index.Inverted.t
 
 val search :
   ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:bool ->
-  t -> string list -> hit list
+  ?budget:Xks_robust.Budget.t -> t -> string list -> hit list
 (** [search e ws] runs the query.  Hits are ranked by {!Ranking} when
     [rank] is [true] (default); otherwise in document order.  The empty
     hit list means some keyword does not occur.
+
+    With a [budget], the run is governed: when it exhausts mid-pipeline
+    the engine falls down the ladder ValidRTF → revised MaxMatch →
+    SLCA-only, granting each cheaper attempt a renewed node allowance
+    under the {e same} deadline; the final SLCA-only attempt runs
+    unbudgeted, so a budgeted search always returns.  Degraded hits
+    carry [degraded = Some reason] (the first exhaustion).  Without
+    [budget] the behaviour (and cost) is exactly the unbudgeted
+    pipeline.
     @raise Invalid_argument on an empty query. *)
 
+val degraded_reason : hit list -> Xks_robust.Budget.reason option
+(** The degradation tag of a result set ([None] also for the empty
+    list — an empty full-fidelity answer). *)
+
 val run :
-  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> t -> string list ->
-  Pipeline.result
-(** The raw pipeline result, for callers that need stage outputs. *)
+  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode ->
+  ?budget:Xks_robust.Budget.t -> t -> string list -> Pipeline.result
+(** The raw pipeline result, for callers that need stage outputs.
+    Unlike {!search} this does not degrade:
+    @raise Xks_robust.Budget.Exhausted when [budget] runs out. *)
 
 val hits_of_result : ?rank:bool -> t -> Pipeline.result -> hit list
 (** Turn a pipeline result into scored hits (what {!search} does after
     running the pipeline); exposed for callers that build queries
-    themselves, e.g. {!Labeled}. *)
+    themselves, e.g. {!Labeled}.  Hits come back with
+    [degraded = None]. *)
 
 val render : ?xml:bool -> t -> hit -> string
 (** Pretty tree view of a hit (or XML when [xml] is [true]). *)

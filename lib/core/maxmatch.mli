@@ -11,5 +11,11 @@
 val run_revised : Xks_index.Inverted.t -> string list -> Pipeline.result
 val run_original : Xks_index.Inverted.t -> string list -> Pipeline.result
 
-val run_revised_query : Query.t -> Pipeline.result
-val run_original_query : Query.t -> Pipeline.result
+val run_revised_query :
+  ?budget:Xks_robust.Budget.t -> Query.t -> Pipeline.result
+
+val run_original_query :
+  ?budget:Xks_robust.Budget.t -> Query.t -> Pipeline.result
+(** The [_query] forms run on a prepared query; [budget] makes them
+    cooperative as in {!Pipeline.run_query}.
+    @raise Xks_robust.Budget.Exhausted when the budget runs out. *)

@@ -1,3 +1,5 @@
+module Budget = Xks_robust.Budget
+
 type lca_algorithm = Elca_indexed_stack | Elca_tree_scan | Slca_only
 type pruning = Valid_contributor | Contributor | No_pruning
 
@@ -8,25 +10,34 @@ type result = {
   fragments : Fragment.t list;
 }
 
-let get_lcas lca (q : Query.t) =
+let get_lcas ?budget lca (q : Query.t) =
   if not (Query.has_results q) then []
   else
     match lca with
-    | Elca_indexed_stack -> Xks_lca.Indexed_stack.elca q.doc q.postings
-    | Elca_tree_scan -> Xks_lca.Tree_scan.elca q.doc q.postings
-    | Slca_only -> Xks_lca.Slca.indexed_lookup_eager q.doc q.postings
+    | Elca_indexed_stack -> Xks_lca.Indexed_stack.elca ?budget q.doc q.postings
+    | Elca_tree_scan ->
+        let lcas = Xks_lca.Tree_scan.elca q.doc q.postings in
+        Budget.tick_opt budget (List.length lcas);
+        lcas
+    | Slca_only ->
+        let lcas = Xks_lca.Slca.indexed_lookup_eager q.doc q.postings in
+        Budget.tick_opt budget (List.length lcas);
+        lcas
 
 (* Prune every RTF, optionally striping the work over several domains;
    pruning touches only immutable query state and RTF-local tables, so
-   the parallel run is observationally identical. *)
-let prune_all ?cid_mode ~domains q pruning rtfs =
-  let prune rtf =
+   the parallel run is observationally identical.  A budgeted run is
+   always sequential: the budget counter is mutable shared state. *)
+let prune_all ?cid_mode ?budget ~domains q pruning rtfs =
+  let prune (rtf : Rtf.t) =
+    Budget.tick_opt budget (1 + Array.length rtf.knodes);
     let info = Node_info.construct ?cid_mode q rtf in
     match pruning with
     | Valid_contributor -> Prune.valid_contributor info
     | Contributor -> Prune.contributor info
     | No_pruning -> Prune.keep_all info
   in
+  let domains = if budget = None then domains else 1 in
   let n = List.length rtfs in
   if domains <= 1 || n < 2 * domains then List.map prune rtfs
   else begin
@@ -50,10 +61,16 @@ let prune_all ?cid_mode ~domains q pruning rtfs =
          output)
   end
 
-let run_query ?cid_mode ?(domains = 1) ~lca ~pruning q =
-  let lcas = get_lcas lca q in
-  let rtfs = Rtf.get_rtfs q lcas in
-  { query = q; lcas; rtfs; fragments = prune_all ?cid_mode ~domains q pruning rtfs }
+let run_query ?cid_mode ?(domains = 1) ?budget ~lca ~pruning q =
+  (* getKeywordNodes already happened in [Query.make]; charge its cost
+     (the posting entries the query holds) up front so oversized queries
+     exhaust a node budget before any LCA work starts. *)
+  Budget.tick_opt budget
+    (Array.fold_left (fun acc p -> acc + Array.length p) 0 q.Query.postings);
+  let lcas = get_lcas ?budget lca q in
+  let rtfs = Rtf.get_rtfs ?budget q lcas in
+  { query = q; lcas; rtfs;
+    fragments = prune_all ?cid_mode ?budget ~domains q pruning rtfs }
 
 let run ?cid_mode ~lca ~pruning idx ws =
   run_query ?cid_mode ~lca ~pruning (Query.make idx ws)

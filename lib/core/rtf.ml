@@ -10,9 +10,10 @@ let keyword_node_ids (q : Query.t) =
   in
   Array.of_list (List.sort_uniq Int.compare all)
 
-let get_rtfs (q : Query.t) lcas =
+let get_rtfs ?budget (q : Query.t) lcas =
   let doc = q.doc in
   let knodes = keyword_node_ids q in
+  Xks_robust.Budget.tick_opt budget (Array.length knodes);
   let buckets = List.map (fun a -> (a, Xks_util.Int_vec.create ())) lcas in
   (* Sweep keyword nodes in document order, keeping a stack of the LCA
      intervals that contain the current position; the top of the stack is

@@ -13,11 +13,13 @@ type t = {
   knodes : int array;  (** sorted ids of the keyword nodes dispatched here *)
 }
 
-val get_rtfs : Query.t -> int list -> t list
+val get_rtfs : ?budget:Xks_robust.Budget.t -> Query.t -> int list -> t list
 (** [get_rtfs q lcas] dispatches the keyword nodes of [q] over the
     document-ordered LCA ids [lcas].  RTFs come back in document order of
     their LCA; an LCA that receives no keyword node yields an RTF with an
-    empty [knodes] (cannot happen when [lcas] are full containers). *)
+    empty [knodes] (cannot happen when [lcas] are full containers).
+    [budget] is charged one tick per keyword node dispatched.
+    @raise Xks_robust.Budget.Exhausted when the budget runs out. *)
 
 val raw_fragment : Query.t -> t -> Fragment.t
 (** The unpruned RTF: keyword nodes plus connecting paths up to the

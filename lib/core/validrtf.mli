@@ -12,5 +12,8 @@ val run :
     sets (A1 ablation).
     @raise Invalid_argument as {!Query.make}. *)
 
-val run_query : ?cid_mode:Xks_index.Cid.mode -> Query.t -> Pipeline.result
-(** As {!run} on a prepared query (what the benchmarks time). *)
+val run_query :
+  ?cid_mode:Xks_index.Cid.mode -> ?budget:Xks_robust.Budget.t -> Query.t ->
+  Pipeline.result
+(** As {!run} on a prepared query (what the benchmarks time).
+    @raise Xks_robust.Budget.Exhausted when [budget] runs out. *)

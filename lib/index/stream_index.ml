@@ -59,11 +59,11 @@ let rows_of feed =
     entries []
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
-let rows_of_string s = rows_of (fun h -> Sax.parse_string h s)
-let rows_of_file path = rows_of (fun h -> Sax.parse_file h path)
+let rows_of_string ?limits s = rows_of (fun h -> Sax.parse_string ?limits h s)
+let rows_of_file ?limits path = rows_of (fun h -> Sax.parse_file ?limits h path)
 
-let save_file ~input ~output =
-  let rows = rows_of_file input in
+let save_file ?limits ~input ~output () =
+  let rows = rows_of_file ?limits input in
   let oc = open_out_bin output in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)

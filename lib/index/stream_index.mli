@@ -17,16 +17,22 @@
     Mixed-content text is concatenated per element before tokenisation,
     matching the tree model's text semantics. *)
 
-val rows_of_string : string -> (string * int * int array) list
+val rows_of_string :
+  ?limits:Xks_robust.Limits.t -> string -> (string * int * int array) list
 (** [(word, occurrences, posting)] rows, sorted by word — equal to
     [Inverted.to_rows (Inverted.build (Parser.parse_string s))].
-    @raise Xks_xml.Sax.Error on malformed input. *)
+    @raise Xks_xml.Sax.Error on malformed input.
+    @raise Xks_robust.Limits.Limit_exceeded when [limits] (default
+    {!Xks_robust.Limits.default}) is crossed. *)
 
-val rows_of_file : string -> (string * int * int array) list
+val rows_of_file :
+  ?limits:Xks_robust.Limits.t -> string -> (string * int * int array) list
 (** As {!rows_of_string}, reading from a file.
     @raise Xks_xml.Sax.Error on malformed input.
+    @raise Xks_robust.Limits.Limit_exceeded when [limits] is crossed.
     @raise Sys_error if the file cannot be read. *)
 
-val save_file : input:string -> output:string -> int
+val save_file :
+  ?limits:Xks_robust.Limits.t -> input:string -> output:string -> unit -> int
 (** Stream-index [input] and write the rows in {!Persist} format to
     [output]; returns the number of distinct words. *)

@@ -34,7 +34,7 @@ let is_elca doc postings (u : Tree.node) child_ranges =
   in
   Array.for_all witness_for postings
 
-let elca doc postings =
+let elca ?budget doc postings =
   let k = Array.length postings in
   if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then []
   else begin
@@ -60,6 +60,7 @@ let elca doc postings =
           range
     in
     let process v =
+      Xks_robust.Budget.tick_opt budget 1;
       let x =
         match Probe.fc doc postings (Tree.node doc v) with
         | Some n -> n

@@ -17,7 +17,10 @@
 
     Results are returned in document order. *)
 
-val elca : Xks_xml.Tree.t -> int array array -> int list
+val elca :
+  ?budget:Xks_robust.Budget.t -> Xks_xml.Tree.t -> int array array -> int list
 (** Ids of all ELCA nodes for the query whose posting lists are given,
     in document order.  Empty when some keyword has no occurrence or the
-    query is empty. *)
+    query is empty.  [budget] is ticked once per occurrence of the
+    rarest keyword (the algorithm's outer loop).
+    @raise Xks_robust.Budget.Exhausted when the budget runs out. *)

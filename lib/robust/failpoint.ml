@@ -1,0 +1,56 @@
+type action = Raise of exn | Truncate of int | Corrupt of int
+
+type entry = { mutable action : action; mutable skip : int }
+
+let armed : (string, entry) Hashtbl.t = Hashtbl.create 8
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 8
+
+let enable ?(skip = 0) site action =
+  if skip < 0 then invalid_arg "Failpoint.enable: negative skip";
+  Hashtbl.replace armed site { action; skip }
+
+let disable site = Hashtbl.remove armed site
+
+let clear_all () =
+  Hashtbl.reset armed;
+  Hashtbl.reset counters
+
+let hits site =
+  match Hashtbl.find_opt counters site with Some r -> !r | None -> 0
+
+let count site =
+  match Hashtbl.find_opt counters site with
+  | Some r -> incr r
+  | None -> Hashtbl.add counters site (ref 1)
+
+let apply site data =
+  count site;
+  match Hashtbl.find_opt armed site with
+  | None -> data
+  | Some e when e.skip > 0 ->
+      e.skip <- e.skip - 1;
+      data
+  | Some { action = Raise exn; _ } -> raise exn
+  | Some { action = Truncate n; _ } ->
+      String.sub data 0 (max 0 (min n (String.length data)))
+  | Some { action = Corrupt n; _ } ->
+      if String.length data = 0 then data
+      else begin
+        let b = Bytes.of_string data in
+        let i = ((n mod Bytes.length b) + Bytes.length b) mod Bytes.length b in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+        Bytes.unsafe_to_string b
+      end
+
+let read_file ~site path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  apply site data
+
+let with_failpoint ?skip site action f =
+  enable ?skip site action;
+  Fun.protect ~finally:(fun () -> disable site) f

@@ -1,0 +1,49 @@
+(** Failpoints: deterministic fault injection for tests.
+
+    Production I/O sites ({!Xks_index.Persist.load},
+    {!Xks_xml.Sax.parse_file}) read files through {!read_file}, naming
+    their site.  A test enables an action on that site to simulate a
+    torn write (truncation), a bit flip, or a mid-read I/O error, then
+    asserts the system degrades instead of crashing.  With no action
+    enabled the passthrough costs one hashtable probe.
+
+    Sites in this codebase: ["persist.read"] (index file bytes) and
+    ["sax.read"] (XML file bytes).
+
+    The registry is global mutable state — tests using it must not run
+    failpoint cases concurrently; {!with_failpoint} scopes an action and
+    always clears it. *)
+
+type action =
+  | Raise of exn  (** the site raises [exn] (e.g. a mid-read [Sys_error]) *)
+  | Truncate of int  (** the site sees only the first [n] bytes *)
+  | Corrupt of int
+      (** byte at offset [n mod length] is bit-flipped (xor 0xFF) *)
+
+val enable : ?skip:int -> string -> action -> unit
+(** Arm [site] with [action]; the first [skip] (default 0) triggers pass
+    through unharmed.  Re-enabling replaces the previous action. *)
+
+val disable : string -> unit
+(** Disarm [site] (no-op when not armed). *)
+
+val clear_all : unit -> unit
+(** Disarm every site and reset hit counters. *)
+
+val hits : string -> int
+(** How many times [site] was reached (armed or not) since the last
+    {!clear_all}. *)
+
+val apply : string -> string -> string
+(** [apply site data] passes [data] through [site]'s action: returns it
+    unchanged when disarmed or skipping, truncated/corrupted, or raises
+    the armed exception.  Always counts a hit. *)
+
+val read_file : site:string -> string -> string
+(** Read a whole binary file, then {!apply} the site's action — the
+    injectable reader used by [Persist] and [Sax].
+    @raise Sys_error if the file cannot be read (or as injected). *)
+
+val with_failpoint : ?skip:int -> string -> action -> (unit -> 'a) -> 'a
+(** [with_failpoint site action f] runs [f] with [site] armed, disarming
+    it afterwards even if [f] raises. *)

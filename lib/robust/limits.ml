@@ -1,0 +1,42 @@
+type t = {
+  max_depth : int;
+  max_attrs : int;
+  max_text_bytes : int;
+  max_nodes : int;
+}
+
+exception
+  Limit_exceeded of {
+    line : int;
+    col : int;
+    limit : string;
+    value : int;
+    max : int;
+  }
+
+let default =
+  {
+    max_depth = 1024;
+    max_attrs = 1024;
+    max_text_bytes = 1 lsl 30;
+    max_nodes = 1 lsl 26;
+  }
+
+let unlimited =
+  {
+    max_depth = max_int;
+    max_attrs = max_int;
+    max_text_bytes = max_int;
+    max_nodes = max_int;
+  }
+
+let exceeded ~line ~col ~limit ~value ~max =
+  raise (Limit_exceeded { line; col; limit; value; max })
+
+let error_to_string = function
+  | Limit_exceeded { line; col; limit; value; max } ->
+      Some
+        (Printf.sprintf
+           "input limit exceeded at line %d, column %d: %s = %d (cap %d)" line
+           col limit value max)
+  | _ -> None

@@ -1,0 +1,40 @@
+(** Ingestion limits: hard caps on what a parsed document may cost.
+
+    Adversarial inputs — deeply nested element bombs, megabyte attribute
+    lists, entity-heavy text — must fail with a structured error before
+    they exhaust the stack or the heap.  {!Xks_xml.Sax} (and therefore
+    {!Xks_xml.Parser}, {!Xks_index.Stream_index} and
+    {!Xks_core.Engine.of_file}) checks these caps while scanning and
+    raises {!Limit_exceeded} with the input position. *)
+
+type t = {
+  max_depth : int;  (** maximum element nesting depth *)
+  max_attrs : int;  (** maximum attributes on one element *)
+  max_text_bytes : int;
+      (** maximum total decoded character-data / attribute-value /
+          entity-expansion bytes in the document *)
+  max_nodes : int;  (** maximum total elements in the document *)
+}
+
+exception
+  Limit_exceeded of {
+    line : int;  (** 1-based input position of the violation *)
+    col : int;
+    limit : string;  (** which cap, e.g. ["max_depth"] *)
+    value : int;  (** the offending value *)
+    max : int;  (** the cap it crossed *)
+  }
+
+val default : t
+(** Safe defaults for serving untrusted input: depth 1024, 1024
+    attributes per element, 1 GiB of text, 2^26 elements — far above any
+    legitimate DBLP/XMark corpus, far below what exhausts a process. *)
+
+val unlimited : t
+(** No caps ([max_int] everywhere) — the pre-hardening behaviour. *)
+
+val exceeded : line:int -> col:int -> limit:string -> value:int -> max:int -> 'a
+(** Raise {!Limit_exceeded}. *)
+
+val error_to_string : exn -> string option
+(** Render a {!Limit_exceeded}; [None] for other exceptions. *)

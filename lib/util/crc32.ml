@@ -1,0 +1,40 @@
+let polynomial = 0xEDB88320l
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor (Int32.shift_right_logical !c 1) polynomial
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.sub";
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand
+           (Int32.logxor !c (Int32.of_int (Char.code s.[i])))
+           0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let string s = sub s ~pos:0 ~len:(String.length s)
+
+let to_le_bytes c =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 c;
+  Bytes.to_string b
+
+let of_le_bytes s ~pos =
+  if pos < 0 || pos > String.length s - 4 then invalid_arg "Crc32.of_le_bytes";
+  String.get_int32_le s pos

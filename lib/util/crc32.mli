@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), pure OCaml.
+
+    Used by {!Xks_index.Persist} to checksum on-disk index files so
+    truncation and bit flips are detected before corrupt postings are
+    served. *)
+
+val sub : string -> pos:int -> len:int -> int32
+(** CRC-32 of [len] bytes of [s] starting at [pos].
+    @raise Invalid_argument if the range is outside [s]. *)
+
+val string : string -> int32
+(** CRC-32 of the whole string. *)
+
+val to_le_bytes : int32 -> string
+(** The checksum as 4 little-endian bytes (the on-disk encoding). *)
+
+val of_le_bytes : string -> pos:int -> int32
+(** Read 4 little-endian bytes back as a checksum.
+    @raise Invalid_argument if fewer than 4 bytes remain at [pos]. *)

@@ -61,13 +61,13 @@ let translate f =
   try f () with
   | Sax.Error { line; col; message } -> raise (Error { line; col; message })
 
-let parse_string src =
+let parse_string ?limits src =
   translate (fun () ->
-      Tree.build (builder_of_events (fun h -> Sax.parse_string h src)))
+      Tree.build (builder_of_events (fun h -> Sax.parse_string ?limits h src)))
 
-let parse_file path =
+let parse_file ?limits path =
   translate (fun () ->
-      Tree.build (builder_of_events (fun h -> Sax.parse_file h path)))
+      Tree.build (builder_of_events (fun h -> Sax.parse_file ?limits h path)))
 
 let error_to_string = function
   | Error { line; col; message } ->

@@ -15,13 +15,17 @@
 exception Error of { line : int; col : int; message : string }
 (** Raised on malformed input, with 1-based position. *)
 
-val parse_string : string -> Tree.t
+val parse_string : ?limits:Xks_robust.Limits.t -> string -> Tree.t
 (** [parse_string s] parses a complete XML document.
-    @raise Error on malformed input. *)
+    @raise Error on malformed input.
+    @raise Xks_robust.Limits.Limit_exceeded when [limits] (default
+    {!Xks_robust.Limits.default}) is crossed — depth, attribute, text
+    or node bombs are rejected with position info rather than parsed. *)
 
-val parse_file : string -> Tree.t
+val parse_file : ?limits:Xks_robust.Limits.t -> string -> Tree.t
 (** [parse_file path] reads and parses [path].
     @raise Error on malformed input.
+    @raise Xks_robust.Limits.Limit_exceeded when [limits] is crossed.
     @raise Sys_error if the file cannot be read. *)
 
 val error_to_string : exn -> string option

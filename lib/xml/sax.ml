@@ -1,3 +1,6 @@
+module Limits = Xks_robust.Limits
+module Failpoint = Xks_robust.Failpoint
+
 exception Error of { line : int; col : int; message : string }
 
 type handler = {
@@ -15,10 +18,22 @@ type state = {
   mutable pos : int;
   mutable line : int;
   mutable bol : int;
+  limits : Limits.t;
+  mutable n_nodes : int;  (* elements started so far *)
+  mutable n_text : int;  (* decoded text/attribute/entity bytes so far *)
+  mutable depth : int;  (* current element nesting depth *)
 }
 
 let fail st message =
   raise (Error { line = st.line; col = st.pos - st.bol + 1; message })
+
+let limit_fail st limit value max =
+  Limits.exceeded ~line:st.line ~col:(st.pos - st.bol + 1) ~limit ~value ~max
+
+let charge_text st n =
+  st.n_text <- st.n_text + n;
+  if st.n_text > st.limits.Limits.max_text_bytes then
+    limit_fail st "max_text_bytes" st.n_text st.limits.Limits.max_text_bytes
 
 let eof st = st.pos >= String.length st.src
 let peek st = st.src.[st.pos]
@@ -109,10 +124,13 @@ let parse_attr_value st =
     let c = next st in
     if c = quote then Buffer.contents buf
     else if c = '&' then begin
-      Buffer.add_string buf (parse_reference st);
+      let expansion = parse_reference st in
+      charge_text st (String.length expansion);
+      Buffer.add_string buf expansion;
       loop ()
     end
     else begin
+      charge_text st 1;
       Buffer.add_char buf c;
       loop ()
     end
@@ -120,21 +138,23 @@ let parse_attr_value st =
   loop ()
 
 let parse_attrs st =
-  let rec loop acc =
+  let rec loop n acc =
     skip_space st;
     if eof st then fail st "unterminated tag"
     else
       match peek st with
       | '>' | '/' | '?' -> List.rev acc
       | _ ->
+          if n + 1 > st.limits.Limits.max_attrs then
+            limit_fail st "max_attrs" (n + 1) st.limits.Limits.max_attrs;
           let name = parse_name st in
           skip_space st;
           expect st '=';
           skip_space st;
           let value = parse_attr_value st in
-          loop ((name, value) :: acc)
+          loop (n + 1) ((name, value) :: acc)
   in
-  loop []
+  loop 0 []
 
 let skip_until st stop =
   let n = String.length stop in
@@ -209,6 +229,7 @@ let rec parse_content h st name =
         let start = st.pos in
         let rec cdata () =
           if looking_at st "]]>" then begin
+            charge_text st (st.pos - start);
             Buffer.add_string text (String.sub st.src start (st.pos - start));
             expect_string st "]]>"
           end
@@ -234,10 +255,13 @@ let rec parse_content h st name =
     end
     else if peek st = '&' then begin
       advance st;
-      Buffer.add_string text (parse_reference st);
+      let expansion = parse_reference st in
+      charge_text st (String.length expansion);
+      Buffer.add_string text expansion;
       loop ()
     end
     else begin
+      charge_text st 1;
       Buffer.add_char text (peek st);
       advance st;
       loop ()
@@ -247,10 +271,16 @@ let rec parse_content h st name =
 
 (* An element whose '<' has been consumed. *)
 and parse_element h st =
+  st.n_nodes <- st.n_nodes + 1;
+  if st.n_nodes > st.limits.Limits.max_nodes then
+    limit_fail st "max_nodes" st.n_nodes st.limits.Limits.max_nodes;
+  st.depth <- st.depth + 1;
+  if st.depth > st.limits.Limits.max_depth then
+    limit_fail st "max_depth" st.depth st.limits.Limits.max_depth;
   let name = parse_name st in
   let attrs = parse_attrs st in
   if eof st then fail st "unterminated tag";
-  match next st with
+  (match next st with
   | '/' ->
       expect st '>';
       h.on_start name attrs;
@@ -258,7 +288,8 @@ and parse_element h st =
   | '>' ->
       h.on_start name attrs;
       parse_content h st name
-  | c -> fail st (Printf.sprintf "unexpected %C in tag" c)
+  | c -> fail st (Printf.sprintf "unexpected %C in tag" c));
+  st.depth <- st.depth - 1
 
 let parse_prolog st =
   let rec loop () =
@@ -284,8 +315,11 @@ let parse_prolog st =
   in
   loop ()
 
-let parse_string h src =
-  let st = { src; pos = 0; line = 1; bol = 0 } in
+let parse_string ?(limits = Limits.default) h src =
+  let st =
+    { src; pos = 0; line = 1; bol = 0; limits; n_nodes = 0; n_text = 0;
+      depth = 0 }
+  in
   parse_prolog st;
   parse_element h st;
   let rec epilogue () =
@@ -305,12 +339,10 @@ let parse_string h src =
   in
   epilogue ()
 
-let parse_file h path =
-  let ic = open_in_bin path in
-  let finally () = close_in_noerr ic in
-  Fun.protect ~finally (fun () ->
-      let n = in_channel_length ic in
-      parse_string h (really_input_string ic n))
+let read_site = "sax.read"
+
+let parse_file ?limits h path =
+  parse_string ?limits h (Failpoint.read_file ~site:read_site path)
 
 let error_to_string = function
   | Error { line; col; message } ->

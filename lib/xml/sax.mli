@@ -12,7 +12,13 @@
     Supported syntax is exactly {!Parser}'s: elements, attributes,
     character data with the predefined entities and numeric references,
     CDATA, comments, processing instructions, an optional DOCTYPE
-    (skipped). *)
+    (skipped).
+
+    Parsing is governed by {!Xks_robust.Limits}: nesting depth,
+    attribute count, decoded text bytes and element count are capped
+    (default {!Xks_robust.Limits.default}) so adversarial inputs fail
+    with a structured {!Xks_robust.Limits.Limit_exceeded} instead of
+    exhausting the stack or heap. *)
 
 exception Error of { line : int; col : int; message : string }
 (** Raised on malformed input, with 1-based position. *)
@@ -32,13 +38,22 @@ val handler :
   ?on_text:(string -> unit) -> ?on_end:(string -> unit) -> unit -> handler
 (** A handler with the given callbacks; omitted ones do nothing. *)
 
-val parse_string : handler -> string -> unit
+val parse_string : ?limits:Xks_robust.Limits.t -> handler -> string -> unit
 (** Scan a complete document, firing events in document order.
-    @raise Error on malformed input. *)
+    @raise Error on malformed input.
+    @raise Xks_robust.Limits.Limit_exceeded when [limits] (default
+    {!Xks_robust.Limits.default}) is crossed. *)
 
-val parse_file : handler -> string -> unit
+val parse_file : ?limits:Xks_robust.Limits.t -> handler -> string -> unit
 (** @raise Error on malformed input.
-    @raise Sys_error if the file cannot be read. *)
+    @raise Xks_robust.Limits.Limit_exceeded when [limits] is crossed.
+    @raise Sys_error if the file cannot be read.
+
+    The file bytes pass through the {!Xks_robust.Failpoint} site
+    {!read_site}, so tests can inject truncation or I/O errors. *)
+
+val read_site : string
+(** The failpoint site name for file reads, ["sax.read"]. *)
 
 val error_to_string : exn -> string option
 (** Render an {!Error}; [None] for other exceptions. *)

@@ -76,3 +76,9 @@ let postings_for doc query_words =
 
 (* Run an Alcotest-compatible QCheck test. *)
 let qtest = QCheck_alcotest.to_alcotest
+
+(* Substring test, for asserting on error-message wording. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0

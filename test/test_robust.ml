@@ -1,0 +1,268 @@
+(* Robustness layer: budgets, ingestion limits, failpoints, and the
+   engine's degradation ladder. *)
+
+module Budget = Xks_robust.Budget
+module Limits = Xks_robust.Limits
+module Failpoint = Xks_robust.Failpoint
+module Engine = Xks_core.Engine
+module Fragment = Xks_core.Fragment
+
+(* --- Budget semantics --- *)
+
+let test_node_budget () =
+  let b = Budget.create ~max_nodes:10 () in
+  Budget.tick b 10;
+  (* exactly at the cap: still fine *)
+  (match Budget.tick b 1 with
+  | exception Budget.Exhausted Budget.Node_budget -> ()
+  | () -> Alcotest.fail "node cap not enforced"
+  | exception Budget.Exhausted Budget.Deadline ->
+      Alcotest.fail "wrong exhaustion reason");
+  Alcotest.(check int) "ticks counted" 11 (Budget.visited b);
+  let b' = Budget.renew b in
+  Alcotest.(check int) "renew resets the counter" 0 (Budget.visited b');
+  Budget.tick b' 10 (* the fresh allowance is usable again *)
+
+let test_deadline_fake_clock () =
+  let now = ref 0.0 in
+  let b =
+    Budget.create ~now:(fun () -> !now) ~check_interval:1 ~deadline_ms:100 ()
+  in
+  Budget.tick b 1;
+  (* 50 ms in: still alive *)
+  now := 0.05;
+  Budget.tick b 1;
+  (* 200 ms in: past the deadline *)
+  now := 0.2;
+  (match Budget.tick b 1 with
+  | exception Budget.Exhausted Budget.Deadline -> ()
+  | () -> Alcotest.fail "deadline not enforced");
+  (* renew keeps the same absolute deadline — still exhausted *)
+  match Budget.check (Budget.renew b) with
+  | exception Budget.Exhausted Budget.Deadline -> ()
+  | () -> Alcotest.fail "renew must not extend the deadline"
+
+let test_clock_checked_every_interval () =
+  let calls = ref 0 in
+  let now () = incr calls; 0.0 in
+  let b = Budget.create ~now ~check_interval:100 ~deadline_ms:60_000 () in
+  Budget.tick b 1;
+  (* the first tick always checks; from here on, one check per interval *)
+  let before = !calls in
+  for _ = 1 to 99 do Budget.tick b 1 done;
+  Alcotest.(check int) "no clock reads between intervals" before !calls;
+  Budget.tick b 1;
+  Alcotest.(check int) "one clock read at the interval" (before + 1) !calls
+
+let test_unlimited_budget () =
+  let b = Budget.create () in
+  Budget.tick b 10_000_000;
+  Budget.check b;
+  Alcotest.(check int) "visited still tracked" 10_000_000 (Budget.visited b)
+
+let test_create_validation () =
+  (match Budget.create ~max_nodes:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative max_nodes accepted");
+  match Budget.create ~check_interval:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero check_interval accepted"
+
+(* --- Ingestion limits --- *)
+
+let deep_doc n =
+  String.concat "" (List.init n (fun _ -> "<a>"))
+  ^ "x"
+  ^ String.concat "" (List.init n (fun _ -> "</a>"))
+
+let expect_limit ~name limits src =
+  match Xks_xml.Parser.parse_string ~limits src with
+  | exception Limits.Limit_exceeded { limit; line; col; value; max } ->
+      Alcotest.(check string) "which cap" name limit;
+      Alcotest.(check bool) "positioned" true (line >= 1 && col >= 1);
+      Alcotest.(check bool) "value crossed the cap" true (value > max)
+  | _ -> Alcotest.failf "%s bomb accepted" name
+
+let test_depth_bomb () =
+  expect_limit ~name:"max_depth"
+    { Limits.unlimited with max_depth = 16 }
+    (deep_doc 64)
+
+let test_attr_bomb () =
+  let attrs =
+    String.concat " " (List.init 64 (fun i -> Printf.sprintf "a%d=\"v\"" i))
+  in
+  expect_limit ~name:"max_attrs"
+    { Limits.unlimited with max_attrs = 16 }
+    (Printf.sprintf "<a %s/>" attrs)
+
+let test_text_bomb () =
+  expect_limit ~name:"max_text_bytes"
+    { Limits.unlimited with max_text_bytes = 16 }
+    ("<a>" ^ String.make 64 'x' ^ "</a>")
+
+let test_entity_text_counts () =
+  (* entity expansions charge the text budget too *)
+  expect_limit ~name:"max_text_bytes"
+    { Limits.unlimited with max_text_bytes = 4 }
+    ("<a>" ^ String.concat "" (List.init 8 (fun _ -> "&amp;")) ^ "</a>")
+
+let test_node_bomb () =
+  expect_limit ~name:"max_nodes"
+    { Limits.unlimited with max_nodes = 16 }
+    ("<a>" ^ String.concat "" (List.init 64 (fun _ -> "<b/>")) ^ "</a>")
+
+let test_defaults_admit_normal_documents () =
+  let doc = Xks_datagen.Paper_fixtures.publications () in
+  let src = Xks_xml.Writer.to_string doc in
+  let reparsed = Xks_xml.Parser.parse_string ~limits:Limits.default src in
+  Alcotest.(check int) "same size" (Xks_xml.Tree.size doc)
+    (Xks_xml.Tree.size reparsed)
+
+(* --- Failpoints --- *)
+
+let with_temp_bytes data f =
+  let path = Filename.temp_file "xks_robust" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc data;
+      close_out oc;
+      f path)
+
+let test_failpoint_passthrough () =
+  Failpoint.clear_all ();
+  with_temp_bytes "hello" (fun path ->
+      Alcotest.(check string) "disarmed passthrough" "hello"
+        (Failpoint.read_file ~site:"t.site" path);
+      Alcotest.(check int) "hit counted" 1 (Failpoint.hits "t.site"));
+  Failpoint.clear_all ()
+
+let test_failpoint_actions () =
+  with_temp_bytes "hello" (fun path ->
+      let read () = Failpoint.read_file ~site:"t.site" path in
+      Alcotest.(check string) "truncate" "he"
+        (Failpoint.with_failpoint "t.site" (Failpoint.Truncate 2) read);
+      let corrupted =
+        Failpoint.with_failpoint "t.site" (Failpoint.Corrupt 1) read
+      in
+      Alcotest.(check char) "bit-flipped byte"
+        (Char.chr (Char.code 'e' lxor 0xFF))
+        corrupted.[1];
+      (match
+         Failpoint.with_failpoint "t.site"
+           (Failpoint.Raise (Sys_error "injected")) read
+       with
+      | exception Sys_error m when m = "injected" -> ()
+      | _ -> Alcotest.fail "armed exception not raised");
+      (* with_failpoint disarms even after the exception above *)
+      Alcotest.(check string) "disarmed afterwards" "hello" (read ()));
+  Failpoint.clear_all ()
+
+let test_failpoint_skip () =
+  with_temp_bytes "hello" (fun path ->
+      let read () = Failpoint.read_file ~site:"t.site" path in
+      Failpoint.with_failpoint ~skip:2 "t.site" (Failpoint.Truncate 0)
+        (fun () ->
+          Alcotest.(check string) "first skipped" "hello" (read ());
+          Alcotest.(check string) "second skipped" "hello" (read ());
+          Alcotest.(check string) "third fires" "" (read ())));
+  Failpoint.clear_all ()
+
+(* --- The degradation ladder --- *)
+
+let skeleton hits =
+  hits
+  |> List.map (fun h ->
+         (h.Engine.fragment.Fragment.root, Fragment.members_list h.Engine.fragment))
+  |> List.sort compare
+
+let test_degrades_to_slca_answer () =
+  (* A budget of one node exhausts every rung, so the search lands on the
+     unbudgeted SLCA-only floor: same fragments, tagged degraded. *)
+  let e = Engine.of_doc (Xks_datagen.Paper_fixtures.publications ()) in
+  let q = Xks_datagen.Paper_fixtures.q2 in
+  let budget = Budget.create ~max_nodes:1 () in
+  let hits = Engine.search ~budget e q in
+  Alcotest.(check bool) "tagged degraded" true
+    (Engine.degraded_reason hits = Some Budget.Node_budget);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "every hit tagged" true
+        (h.Engine.degraded = Some Budget.Node_budget))
+    hits;
+  let floor = Engine.search ~algorithm:Engine.Maxmatch_original e q in
+  Alcotest.(check bool) "equals the SLCA-only answer" true
+    (skeleton hits = skeleton floor)
+
+let test_generous_budget_is_full_fidelity () =
+  let e = Engine.of_doc (Xks_datagen.Paper_fixtures.publications ()) in
+  let q = Xks_datagen.Paper_fixtures.q3 in
+  let budget = Budget.create ~max_nodes:10_000_000 ~deadline_ms:600_000 () in
+  let budgeted = Engine.search ~budget e q in
+  let unbudgeted = Engine.search e q in
+  Alcotest.(check bool) "not degraded" true
+    (Engine.degraded_reason budgeted = None);
+  Alcotest.(check bool) "same answer" true
+    (skeleton budgeted = skeleton unbudgeted)
+
+let test_expired_deadline_still_answers () =
+  let e = Engine.of_doc (Xks_datagen.Paper_fixtures.team ()) in
+  let q = Xks_datagen.Paper_fixtures.q4 in
+  let now = ref 0.0 in
+  let budget =
+    Budget.create ~now:(fun () -> !now) ~check_interval:1 ~deadline_ms:1 ()
+  in
+  now := 10.0;
+  (* deadline long gone before the query starts *)
+  let hits = Engine.search ~budget e q in
+  Alcotest.(check bool) "degraded by deadline" true
+    (Engine.degraded_reason hits = Some Budget.Deadline);
+  Alcotest.(check bool) "still produced the SLCA answer" true
+    (skeleton hits
+    = skeleton (Engine.search ~algorithm:Engine.Maxmatch_original e q))
+
+let prop_budgeted_equals_some_ladder_rung =
+  (* Whatever the budget, the answer matches one of the three algorithms
+     run without a budget — degradation never invents fragments. *)
+  QCheck2.Test.make ~name:"budgeted answer is some ladder rung's answer"
+    ~count:60
+    QCheck2.Gen.(pair Helpers.gen_doc (int_range 1 200))
+    ~print:(fun (doc, n) -> Printf.sprintf "%s ~max_nodes:%d" (Helpers.print_doc doc) n)
+    (fun (doc, max_nodes) ->
+      let e = Engine.of_doc doc in
+      let q = [ "w0"; "w1" ] in
+      let budget = Budget.create ~max_nodes () in
+      let got = skeleton (Engine.search ~budget e q) in
+      List.exists
+        (fun algorithm -> got = skeleton (Engine.search ~algorithm e q))
+        [ Engine.Validrtf; Engine.Maxmatch; Engine.Maxmatch_original ])
+
+let tests =
+  [
+    Alcotest.test_case "node budget" `Quick test_node_budget;
+    Alcotest.test_case "deadline (fake clock)" `Quick test_deadline_fake_clock;
+    Alcotest.test_case "clock checked per interval" `Quick
+      test_clock_checked_every_interval;
+    Alcotest.test_case "unlimited budget" `Quick test_unlimited_budget;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "depth bomb" `Quick test_depth_bomb;
+    Alcotest.test_case "attribute bomb" `Quick test_attr_bomb;
+    Alcotest.test_case "text bomb" `Quick test_text_bomb;
+    Alcotest.test_case "entity expansion charges text" `Quick
+      test_entity_text_counts;
+    Alcotest.test_case "node bomb" `Quick test_node_bomb;
+    Alcotest.test_case "defaults admit normal documents" `Quick
+      test_defaults_admit_normal_documents;
+    Alcotest.test_case "failpoint passthrough" `Quick test_failpoint_passthrough;
+    Alcotest.test_case "failpoint actions" `Quick test_failpoint_actions;
+    Alcotest.test_case "failpoint skip" `Quick test_failpoint_skip;
+    Alcotest.test_case "tiny budget degrades to the SLCA answer" `Quick
+      test_degrades_to_slca_answer;
+    Alcotest.test_case "generous budget is full fidelity" `Quick
+      test_generous_budget_is_full_fidelity;
+    Alcotest.test_case "expired deadline still answers" `Quick
+      test_expired_deadline_still_answers;
+    Helpers.qtest prop_budgeted_equals_some_ladder_rung;
+  ]

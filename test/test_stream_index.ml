@@ -38,7 +38,7 @@ let test_save_file () =
       Sys.remove idx_path)
     (fun () ->
       Writer.to_file xml_path doc;
-      let words = Stream_index.save_file ~input:xml_path ~output:idx_path in
+      let words = Stream_index.save_file ~input:xml_path ~output:idx_path () in
       Alcotest.(check bool) "some words" true (words > 0);
       let idx = Persist.load idx_path doc in
       Alcotest.(check (list int)) "posting intact"
