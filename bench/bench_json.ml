@@ -1,0 +1,117 @@
+(* Machine-readable bench artifacts: BENCH_fig5.json / BENCH_fig6.json.
+
+   Each figure accumulates one entry per dataset over a harness
+   invocation (the `all` command runs four panels); the file is
+   rewritten after every panel so a partial run still leaves a valid
+   document.  These files seed the perf trajectory — commit them (or
+   diff them in CI) to make regressions visible. *)
+
+module J = Xks_trace.Json
+
+(* Where the artifacts go; the CLI points this at --out when given. *)
+let out_dir = ref "."
+
+let path figure = Filename.concat !out_dir ("BENCH_" ^ figure ^ ".json")
+
+let counters_json counters =
+  J.Obj (List.map (fun (name, v) -> (name, J.Int v)) counters)
+
+let fig5_row (r : Runner.row) =
+  J.Obj
+    [
+      ("query", J.String r.mnemonic);
+      ("keywords", J.List (List.map (fun w -> J.String w) r.keywords));
+      ("maxmatch_ms", J.Float r.maxmatch_ms);
+      ("validrtf_ms", J.Float r.validrtf_ms);
+      ("rtfs", J.Int r.rtf_count);
+      ("counters", counters_json r.counters);
+    ]
+
+let fig6_row (r : Runner.row) =
+  let m = r.metrics in
+  J.Obj
+    [
+      ("query", J.String r.mnemonic);
+      ("keywords", J.List (List.map (fun w -> J.String w) r.keywords));
+      ("cfr", J.Float m.Xks_metrics.Metrics.cfr);
+      ("apr_prime", J.Float m.Xks_metrics.Metrics.apr');
+      ("max_apr", J.Float m.Xks_metrics.Metrics.max_apr);
+      ("counters", counters_json r.counters);
+    ]
+
+(* figure -> (dataset, rows) in first-recorded order *)
+let acc : (string, (string * J.t) list ref) Hashtbl.t = Hashtbl.create 4
+
+(* Panels already on disk from a previous invocation: a single
+   `fig5 --dataset xmark1` run must update that panel without dropping
+   the other datasets' baselines. *)
+let panels_on_disk figure =
+  let file = path figure in
+  if not (Sys.file_exists file) then []
+  else
+    try
+      let ic = open_in_bin file in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match J.member "datasets" (J.parse s) with
+      | Some (J.List panels) ->
+          List.filter_map
+            (fun p ->
+              match (J.member "dataset" p, J.member "rows" p) with
+              | Some (J.String d), Some rows -> Some (d, rows)
+              | _ -> None)
+            panels
+      | _ -> []
+    with _ -> [] (* corrupt or foreign file: start over *)
+
+let write figure =
+  let panels = match Hashtbl.find_opt acc figure with
+    | Some l -> !l
+    | None -> []
+  in
+  let doc =
+    J.Obj
+      [
+        ("figure", J.String figure);
+        ("unit", J.String "ms");
+        ( "datasets",
+          J.List
+            (List.map
+               (fun (dataset, rows) ->
+                 J.Obj [ ("dataset", J.String dataset); ("rows", rows) ])
+               panels) );
+      ]
+  in
+  let file = path figure in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Printf.printf "# wrote %s\n" file
+
+let record ~figure ~dataset rows =
+  let panels =
+    match Hashtbl.find_opt acc figure with
+    | Some l -> l
+    | None ->
+        let l = ref (panels_on_disk figure) in
+        Hashtbl.add acc figure l;
+        l
+  in
+  let entry = (dataset, J.List rows) in
+  panels :=
+    (if List.mem_assoc dataset !panels then
+       List.map (fun (d, r) -> if d = dataset then entry else (d, r)) !panels
+     else !panels @ [ entry ]);
+  write figure
+
+let record_fig5 ~dataset rows =
+  record ~figure:"fig5" ~dataset (List.map fig5_row rows)
+
+let record_fig6 ~dataset rows =
+  record ~figure:"fig6" ~dataset (List.map fig6_row rows)

@@ -1,0 +1,60 @@
+(* Validator for the BENCH_*.json artifacts, used by the @bench-smoke
+   alias: the file must parse and carry the row fields downstream
+   tooling (perf-trajectory diffs) relies on.  Exit 0 on success. *)
+
+module J = Xks_trace.Json
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("json_check: " ^ msg); exit 1) fmt
+
+let get what = function Some v -> v | None -> fail "missing %s" what
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: json_check FILE";
+  let path = Sys.argv.(1) in
+  let s =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc = try J.parse s with J.Parse_error msg -> fail "%s: %s" path msg in
+  let figure = get "figure" (Option.bind (J.member "figure" doc) J.to_str) in
+  let datasets =
+    get "datasets" (Option.bind (J.member "datasets" doc) J.to_list)
+  in
+  if datasets = [] then fail "%s: no datasets" path;
+  let rows_checked = ref 0 in
+  List.iter
+    (fun panel ->
+      let name =
+        get "dataset name" (Option.bind (J.member "dataset" panel) J.to_str)
+      in
+      let rows = get "rows" (Option.bind (J.member "rows" panel) J.to_list) in
+      if rows = [] then fail "%s/%s: empty rows" path name;
+      List.iter
+        (fun row ->
+          let str k = get (name ^ "." ^ k) (Option.bind (J.member k row) J.to_str) in
+          let num k =
+            get (name ^ "." ^ k) (Option.bind (J.member k row) J.to_float)
+          in
+          ignore (str "query" : string);
+          (match figure with
+          | "fig5" ->
+              let v = num "validrtf_ms" and m = num "maxmatch_ms" in
+              if v < 0.0 || m < 0.0 then fail "%s/%s: negative timing" path name;
+              ignore (get "rtfs" (Option.bind (J.member "rtfs" row) J.to_int) : int)
+          | "fig6" ->
+              ignore (num "cfr" : float);
+              ignore (num "apr_prime" : float);
+              ignore (num "max_apr" : float)
+          | f -> fail "unknown figure %S" f);
+          let counters =
+            get "counters" (J.member "counters" row)
+          in
+          (match counters with
+          | J.Obj fields when fields <> [] -> ()
+          | _ -> fail "%s/%s: missing counter snapshot" path name);
+          incr rows_checked)
+        rows)
+    datasets;
+  Printf.printf "json_check: %s ok (%s, %d rows)\n" path figure !rows_checked

@@ -15,6 +15,9 @@ open Cmdliner
 module Engine = Xks_core.Engine
 module Query = Xks_core.Query
 module Metrics = Xks_metrics.Metrics
+module Datasets = Xks_bench.Datasets
+module Runner = Xks_bench.Runner
+module Bench_json = Xks_bench.Bench_json
 
 (* --- Figure 5: performance + number of RTFs --- *)
 
@@ -328,6 +331,8 @@ let scale_args =
   Term.(
     const (fun out entries items ->
         csv_dir := out;
+        (* BENCH_*.json lands in the cwd unless --out redirects it. *)
+        Option.iter (fun dir -> Bench_json.out_dir := dir) out;
         Datasets.dblp_entries := entries;
         Datasets.xmark_items := items)
     $ out $ entries $ items)
@@ -337,7 +342,8 @@ let fig5_cmd =
     let d = Datasets.find dataset in
     let rows = rows_cached d in
     print_fig5 dataset rows;
-    csv_fig5 dataset rows
+    csv_fig5 dataset rows;
+    Bench_json.record_fig5 ~dataset rows
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Regenerate a Figure 5 panel.")
@@ -348,7 +354,8 @@ let fig6_cmd =
     let d = Datasets.find dataset in
     let rows = rows_cached d in
     print_fig6 dataset rows;
-    csv_fig6 dataset rows
+    csv_fig6 dataset rows;
+    Bench_json.record_fig6 ~dataset rows
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Regenerate a Figure 6 panel.")
@@ -393,7 +400,9 @@ let run_all () =
       print_fig5 d.name rows;
       print_fig6 d.name rows;
       csv_fig5 d.name rows;
-      csv_fig6 d.name rows)
+      csv_fig6 d.name rows;
+      Bench_json.record_fig5 ~dataset:d.name rows;
+      Bench_json.record_fig6 ~dataset:d.name rows)
     (Datasets.all ());
   ablation_cid ();
   ablation_lca ();

@@ -4,6 +4,7 @@
 
 module Engine = Xks_core.Engine
 module Query = Xks_core.Query
+module Trace = Xks_trace.Trace
 
 let now_ns () = Monotonic_clock.now ()
 
@@ -13,15 +14,21 @@ let time_ms f =
   let t1 = now_ns () in
   (Int64.to_float (Int64.sub t1 t0) /. 1e6, result)
 
-(* Average elapsed ms over [reps] runs after a discarded warm-up. *)
+(* Average elapsed ms over [reps] runs after a discarded warm-up; with a
+   single rep there is nothing to discard, so the one timed run is the
+   answer (dividing by [reps - 1 = 0] would return NaN). *)
 let measure ?(reps = 6) f =
-  let _, first = time_ms f in
-  let total = ref 0.0 in
-  for _ = 2 to reps do
-    let ms, _ = time_ms f in
-    total := !total +. ms
-  done;
-  (!total /. float_of_int (reps - 1), first)
+  if reps < 1 then invalid_arg "Runner.measure: reps must be >= 1";
+  let warmup_ms, first = time_ms f in
+  if reps = 1 then (warmup_ms, first)
+  else begin
+    let total = ref 0.0 in
+    for _ = 2 to reps do
+      let ms, _ = time_ms f in
+      total := !total +. ms
+    done;
+    (!total /. float_of_int (reps - 1), first)
+  end
 
 type row = {
   mnemonic : string;
@@ -30,7 +37,20 @@ type row = {
   validrtf_ms : float;
   rtf_count : int;
   metrics : Xks_metrics.Metrics.t;
+  counters : (string * int) list;
+      (* trace-counter snapshot of one ValidRTF run (query preparation
+         included, so postings_scanned is populated) *)
 }
+
+(* Counter snapshot of a single traced ValidRTF run.  Kept separate from
+   the timed runs: those stay untraced so the measured path is the
+   production fast path. *)
+let counters_for engine keywords =
+  let t = Trace.create () in
+  Trace.with_current t (fun () ->
+      let q = Query.make (Engine.index engine) keywords in
+      ignore (Xks_core.Validrtf.run_query q : Xks_core.Pipeline.result));
+  Trace.counters t
 
 let run_query engine (mnemonic, keywords) =
   let q = Query.make (Engine.index engine) keywords in
@@ -46,6 +66,7 @@ let run_query engine (mnemonic, keywords) =
     validrtf_ms;
     rtf_count = List.length validrtf.Xks_core.Pipeline.lcas;
     metrics;
+    counters = counters_for engine keywords;
   }
 
 let load (dataset : Datasets.t) =

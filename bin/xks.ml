@@ -150,8 +150,25 @@ let search_cmd =
             "Visited-node budget for the query; degrades like \
              $(b,--timeout-ms) on exhaustion.")
   in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Trace the query and print per-stage timings, pipeline \
+             counters and degradation events to stderr.")
+  in
+  let trace_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the query trace (stage spans, counters, degradation \
+             events) to $(docv) as JSON.")
+  in
   let run file ws algorithm xml_out exact_cid limit snippets explain timeout_ms
-      max_nodes index_path repair =
+      max_nodes index_path repair stats_flag trace_json =
     let engine =
       match index_path with
       | Some idx_path -> engine_of_index ~repair idx_path file
@@ -173,18 +190,46 @@ let search_cmd =
     let cid_mode =
       if exact_cid then Xks_index.Cid.Exact else Xks_index.Cid.Approx
     in
+    let trace =
+      if stats_flag || trace_json <> None then
+        Some (Xks_trace.Trace.create ())
+      else None
+    in
+    Xks_trace.Trace.set_current trace;
     (* Terms containing ':' use the labeled-search extension. *)
     let labeled = List.exists (fun w -> String.contains w ':') ws in
-    let hits =
-      if labeled then Xks_core.Labeled.search ~algorithm engine ws
-      else Xks_core.Engine.search ~algorithm ~cid_mode ?budget engine ws
+    let result =
+      if labeled then
+        {
+          Xks_core.Engine.hits = Xks_core.Labeled.search ~algorithm engine ws;
+          degraded = None;
+        }
+      else Xks_core.Engine.search_result ~algorithm ~cid_mode ?budget engine ws
     in
-    (match Xks_core.Engine.degraded_reason hits with
+    Xks_trace.Trace.set_current None;
+    let hits = result.Xks_core.Engine.hits in
+    (* [search_result] keeps the degradation signal even when the hit
+       list is empty; report it either way. *)
+    (match result.Xks_core.Engine.degraded with
     | Some reason ->
         Printf.eprintf
           "note: query %s exhausted; results degraded to a cheaper algorithm\n"
           (Xks_robust.Budget.reason_to_string reason)
     | None -> ());
+    (match trace with
+    | None -> ()
+    | Some t ->
+        if stats_flag then prerr_string (Xks_trace.Trace.summary t);
+        (match trace_json with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc
+                  (Xks_trace.Json.to_string (Xks_trace.Trace.to_json t));
+                output_char oc '\n')));
     let query =
       if labeled then Xks_core.Labeled.query (Xks_core.Engine.index engine) ws
       else Xks_core.Query.make (Xks_core.Engine.index engine) ws
@@ -250,7 +295,8 @@ let search_cmd =
        ~doc:"Run an XML keyword query and print fragments.")
     Term.(
       const run $ file_arg $ keywords $ algorithm $ xml_out $ exact_cid $ limit
-      $ snippets $ explain $ timeout_ms $ max_nodes $ index_path $ repair)
+      $ snippets $ explain $ timeout_ms $ max_nodes $ index_path $ repair
+      $ stats_flag $ trace_json)
 
 (* --- stats --- *)
 

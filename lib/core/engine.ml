@@ -1,5 +1,6 @@
 module Tree = Xks_xml.Tree
 module Budget = Xks_robust.Budget
+module Trace = Xks_trace.Trace
 
 type t = { doc : Tree.t; index : Xks_index.Inverted.t }
 type algorithm = Validrtf | Maxmatch | Maxmatch_original
@@ -28,22 +29,25 @@ let run ?(algorithm = Validrtf) ?cid_mode ?budget e ws =
 
 let hits_of_result ?(rank = true) (_ : t) result =
   let slcas =
+    (* [indexed_lookup_eager] returns ascending ids, so membership is a
+       binary search instead of an O(hits × slcas) list scan. *)
     lazy
-      (let q = result.Pipeline.query in
-       if Query.has_results q then
-         Xks_lca.Slca.indexed_lookup_eager q.doc q.postings
-       else [])
+      (Trace.with_span "slca_tag" (fun () ->
+           let q = result.Pipeline.query in
+           if Query.has_results q then
+             Array.of_list (Xks_lca.Slca.indexed_lookup_eager q.doc q.postings)
+           else [||]))
   in
   let hit (scored : Ranking.scored) =
     {
       fragment = scored.fragment;
       rtf = scored.rtf;
       score = scored.score;
-      is_slca = List.mem scored.rtf.lca (Lazy.force slcas);
+      is_slca = Xks_util.Bsearch.mem (Lazy.force slcas) scored.rtf.lca;
       degraded = None;
     }
   in
-  let scored = Ranking.rank result in
+  let scored = Trace.with_span "rank" (fun () -> Ranking.rank result) in
   let scored =
     if rank then scored
     else
@@ -60,30 +64,45 @@ let next_cheaper = function
   | Maxmatch -> Some Maxmatch_original
   | Maxmatch_original -> None
 
-let search ?(algorithm = Validrtf) ?cid_mode ?rank ?budget e ws =
-  let attempt alg budget =
-    hits_of_result ?rank e (run ~algorithm:alg ?cid_mode ?budget e ws)
-  in
-  match budget with
-  | None -> attempt algorithm None
-  | Some b -> (
-      let rec ladder alg b =
-        match attempt alg (Some b) with
-        | hits -> (hits, None)
-        | exception Budget.Exhausted reason -> (
-            match next_cheaper alg with
-            | Some alg' ->
-                let hits, _ = ladder alg' (Budget.renew b) in
-                (hits, Some reason)
-            | None -> (attempt Maxmatch_original None, Some reason))
+type search_result = { hits : hit list; degraded : Budget.reason option }
+
+let search_result ?(algorithm = Validrtf) ?cid_mode ?rank ?budget e ws =
+  Trace.with_span "search" (fun () ->
+      let attempt alg budget =
+        hits_of_result ?rank e (run ~algorithm:alg ?cid_mode ?budget e ws)
       in
-      match ladder algorithm b with
-      | hits, None -> hits
-      | hits, (Some _ as degraded) ->
-          List.map (fun h -> { h with degraded }) hits)
+      match budget with
+      | None -> { hits = attempt algorithm None; degraded = None }
+      | Some b -> (
+          let rec ladder alg b =
+            match attempt alg (Some b) with
+            | hits -> (hits, None)
+            | exception Budget.Exhausted reason -> (
+                match next_cheaper alg with
+                | Some alg' ->
+                    let hits, _ = ladder alg' (Budget.renew b) in
+                    (hits, Some reason)
+                | None -> (attempt Maxmatch_original None, Some reason))
+          in
+          match ladder algorithm b with
+          | hits, None -> { hits; degraded = None }
+          | hits, Some reason ->
+              (* One event per degraded search, recorded whether or not
+                 any hit survived to carry the tag. *)
+              Trace.degradation (Budget.reason_to_string reason);
+              {
+                hits =
+                  List.map
+                    (fun (h : hit) -> { h with degraded = Some reason })
+                    hits;
+                degraded = Some reason;
+              }))
+
+let search ?algorithm ?cid_mode ?rank ?budget e ws =
+  (search_result ?algorithm ?cid_mode ?rank ?budget e ws).hits
 
 let degraded_reason hits =
-  List.find_map (fun h -> h.degraded) hits
+  List.find_map (fun (h : hit) -> h.degraded) hits
 
 let render ?(xml = false) e hit =
   if xml then Fragment.to_xml e.doc hit.fragment

@@ -52,6 +52,24 @@ val of_string : ?limits:Xks_robust.Limits.t -> string -> t
 val doc : t -> Xks_xml.Tree.t
 val index : t -> Xks_index.Inverted.t
 
+type search_result = {
+  hits : hit list;
+  degraded : Xks_robust.Budget.reason option;
+      (** the first exhaustion reason of a degraded run — carried even
+          when [hits] is empty, which the per-hit tag cannot express *)
+}
+
+val search_result :
+  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:bool ->
+  ?budget:Xks_robust.Budget.t -> t -> string list -> search_result
+(** Like {!search}, returning the hits together with the degradation
+    status of the whole run.  Prefer this over {!degraded_reason} when a
+    degraded query may legitimately return zero hits: a budgeted query
+    over a keyword that does not occur degrades (the budget charges the
+    other keywords' postings) yet produces an empty hit list, and only
+    [degraded] keeps that signal.  A degraded run also records exactly
+    one {!Xks_trace.Trace.degradation} event on the current trace. *)
+
 val search :
   ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:bool ->
   ?budget:Xks_robust.Budget.t -> t -> string list -> hit list
@@ -71,7 +89,8 @@ val search :
 
 val degraded_reason : hit list -> Xks_robust.Budget.reason option
 (** The degradation tag of a result set ([None] also for the empty
-    list — an empty full-fidelity answer). *)
+    list — use {!search_result} to distinguish an empty degraded answer
+    from an empty full-fidelity one). *)
 
 val run :
   ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode ->

@@ -1,4 +1,5 @@
 module Budget = Xks_robust.Budget
+module Trace = Xks_trace.Trace
 
 type lca_algorithm = Elca_indexed_stack | Elca_tree_scan | Slca_only
 type pruning = Valid_contributor | Contributor | No_pruning
@@ -67,10 +68,12 @@ let run_query ?cid_mode ?(domains = 1) ?budget ~lca ~pruning q =
      exhaust a node budget before any LCA work starts. *)
   Budget.tick_opt budget
     (Array.fold_left (fun acc p -> acc + Array.length p) 0 q.Query.postings);
-  let lcas = get_lcas ?budget lca q in
-  let rtfs = Rtf.get_rtfs ?budget q lcas in
+  let lcas = Trace.with_span "lca" (fun () -> get_lcas ?budget lca q) in
+  let rtfs = Trace.with_span "rtf" (fun () -> Rtf.get_rtfs ?budget q lcas) in
   { query = q; lcas; rtfs;
-    fragments = prune_all ?cid_mode ?budget ~domains q pruning rtfs }
+    fragments =
+      Trace.with_span "prune" (fun () ->
+          prune_all ?cid_mode ?budget ~domains q pruning rtfs) }
 
 let run ?cid_mode ~lca ~pruning idx ws =
   run_query ?cid_mode ~lca ~pruning (Query.make idx ws)

@@ -59,7 +59,11 @@ let collect select t =
   let members = ref [] in
   let rec go (info : Node_info.info) =
     members := info.id :: !members;
-    List.iter go (select info)
+    Xks_trace.Trace.incr Xks_trace.Trace.Frag_nodes_kept;
+    let kept = select info in
+    Xks_trace.Trace.add Xks_trace.Trace.Frag_nodes_pruned
+      (List.length info.rtf_children - List.length kept);
+    List.iter go kept
   in
   let root = Node_info.root t in
   go root;

@@ -57,7 +57,9 @@ let frozen t =
 
 let posting t w =
   match Hashtbl.find_opt (frozen t) (Tokenizer.normalize w) with
-  | Some a -> a
+  | Some a ->
+      Xks_trace.Trace.add Xks_trace.Trace.Postings_scanned (Array.length a);
+      a
   | None -> empty_posting
 
 let postings t ws = Array.of_list (List.map (posting t) ws)

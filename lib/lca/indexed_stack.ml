@@ -1,6 +1,7 @@
 module Tree = Xks_xml.Tree
 module Dewey = Xks_xml.Dewey
 module Bsearch = Xks_util.Bsearch
+module Trace = Xks_trace.Trace
 
 type entry = {
   node : Tree.node;  (* an ELCA candidate: a full container *)
@@ -50,6 +51,7 @@ let elca ?budget doc postings =
       match !stack with
       | [] -> assert false
       | e :: rest ->
+          Trace.incr Trace.Elca_popped;
           stack := rest;
           if is_elca doc postings e.node e.child_ranges then
             results := e.node.id :: !results;
@@ -60,6 +62,7 @@ let elca ?budget doc postings =
           range
     in
     let process v =
+      Trace.incr Trace.Nodes_visited;
       Xks_robust.Budget.tick_opt budget 1;
       let x =
         match Probe.fc doc postings (Tree.node doc v) with
@@ -85,7 +88,9 @@ let elca ?budget doc postings =
           (* Candidate already open; nothing to add ([pending] is empty:
              anything popped went to this entry). *)
           ()
-      | _ -> stack := { node = x; child_ranges = !pending } :: !stack
+      | _ ->
+          Trace.incr Trace.Elca_pushed;
+          stack := { node = x; child_ranges = !pending } :: !stack
     in
     Array.iter process s1;
     while !stack <> [] do

@@ -19,6 +19,7 @@ let indexed_lookup_eager doc postings =
        container.  [fc] cannot return [None] here since no list is
        empty. *)
     let candidate v =
+      Xks_trace.Trace.incr Xks_trace.Trace.Nodes_visited;
       match Probe.fc doc postings (Tree.node doc v) with
       | Some n -> n.id
       | None -> assert false

@@ -1,0 +1,34 @@
+(** Minimal JSON values: printing and parsing, dependency-free.
+
+    Used by {!Trace.to_json}, the CLI's [--trace-json] and the bench
+    harness's [BENCH_*.json] artifacts (and their smoke validation).
+    Printing always produces valid JSON — non-finite floats become
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_list : t -> t list option
+val to_float : t -> float option
+(** Accepts both [Float] and [Int]. *)
+
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,179 @@
+(* Per-query observability: stage spans + monotonic counters.
+
+   One global "current trace" slot keeps the disabled fast path to a
+   single load-and-branch per instrumentation point — the pipeline's hot
+   loops tick counters unconditionally, so when no trace is installed
+   the cost must be negligible.  Counters are atomic because pruning may
+   run on several domains; spans only ever begin/end on the domain that
+   installed the trace. *)
+
+type counter =
+  | Postings_scanned
+  | Nodes_visited
+  | Elca_pushed
+  | Elca_popped
+  | Frag_nodes_kept
+  | Frag_nodes_pruned
+  | Budget_ticks
+  | Degradations
+
+let counter_index = function
+  | Postings_scanned -> 0
+  | Nodes_visited -> 1
+  | Elca_pushed -> 2
+  | Elca_popped -> 3
+  | Frag_nodes_kept -> 4
+  | Frag_nodes_pruned -> 5
+  | Budget_ticks -> 6
+  | Degradations -> 7
+
+let n_counters = 8
+
+let all_counters =
+  [
+    Postings_scanned; Nodes_visited; Elca_pushed; Elca_popped;
+    Frag_nodes_kept; Frag_nodes_pruned; Budget_ticks; Degradations;
+  ]
+
+let counter_name = function
+  | Postings_scanned -> "postings_scanned"
+  | Nodes_visited -> "nodes_visited"
+  | Elca_pushed -> "elca_pushed"
+  | Elca_popped -> "elca_popped"
+  | Frag_nodes_kept -> "frag_nodes_kept"
+  | Frag_nodes_pruned -> "frag_nodes_pruned"
+  | Budget_ticks -> "budget_ticks"
+  | Degradations -> "degradations"
+
+type span = { label : string; depth : int; seq : int; ms : float }
+
+type t = {
+  counters : int Atomic.t array;
+  mutable stack : (string * int * float) list;  (* label, seq, start s *)
+  mutable closed : span list;  (* reverse completion order *)
+  mutable events : string list;  (* degradation reasons, reverse order *)
+  mutable next_seq : int;
+}
+
+let create () =
+  {
+    counters = Array.init n_counters (fun _ -> Atomic.make 0);
+    stack = [];
+    closed = [];
+    events = [];
+    next_seq = 0;
+  }
+
+let current : t option ref = ref None
+let set_current o = current := o
+let get_current () = !current
+let enabled () = !current <> None
+
+let add c n =
+  match !current with
+  | None -> ()
+  | Some t -> ignore (Atomic.fetch_and_add t.counters.(counter_index c) n : int)
+
+let incr c = add c 1
+
+let degradation reason =
+  match !current with
+  | None -> ()
+  | Some t ->
+      t.events <- reason :: t.events;
+      ignore
+        (Atomic.fetch_and_add t.counters.(counter_index Degradations) 1 : int)
+
+let now = Unix.gettimeofday
+
+let span_begin label =
+  match !current with
+  | None -> ()
+  | Some t ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.stack <- (label, seq, now ()) :: t.stack
+
+let span_end label =
+  match !current with
+  | None -> ()
+  | Some t -> (
+      match t.stack with
+      | (l, seq, t0) :: rest when l = label ->
+          t.stack <- rest;
+          t.closed <-
+            {
+              label;
+              depth = List.length rest;
+              seq;
+              ms = (now () -. t0) *. 1000.;
+            }
+            :: t.closed
+      | _ -> () (* unmatched end: drop rather than corrupt the stack *))
+
+let with_span label f =
+  match !current with
+  | None -> f ()
+  | Some _ ->
+      span_begin label;
+      Fun.protect ~finally:(fun () -> span_end label) f
+
+let with_current t f =
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) f
+
+let counter t c = Atomic.get t.counters.(counter_index c)
+let counters t = List.map (fun c -> (counter_name c, counter t c)) all_counters
+
+let spans t =
+  List.sort (fun a b -> Int.compare a.seq b.seq) t.closed
+
+let degradation_events t = List.rev t.events
+
+let summary t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "-- trace: stage timings --\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%-*s %10.3f ms\n"
+           (String.make (2 * s.depth) ' ')
+           (24 - (2 * s.depth))
+           s.label s.ms))
+    (spans t);
+  Buffer.add_string buf "-- trace: counters --\n";
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf "%-24s %10d\n" name v))
+    (counters t);
+  (match degradation_events t with
+  | [] -> ()
+  | events ->
+      Buffer.add_string buf "-- trace: degradations --\n";
+      List.iter
+        (fun e -> Buffer.add_string buf (Printf.sprintf "degraded: %s\n" e))
+        events);
+  Buffer.contents buf
+
+let to_json t =
+  Json.Obj
+    [
+      ( "spans",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("label", Json.String s.label);
+                   ("depth", Json.Int s.depth);
+                   ("ms", Json.Float s.ms);
+                 ])
+             (spans t)) );
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (counters t))
+      );
+      ( "degradations",
+        Json.List
+          (List.map (fun e -> Json.String e) (degradation_events t)) );
+    ]

@@ -43,6 +43,7 @@ let check b =
   check_deadline b
 
 let tick b n =
+  Xks_trace.Trace.incr Xks_trace.Trace.Budget_ticks;
   b.visited <- b.visited + n;
   check_nodes b;
   if b.deadline <> None then begin

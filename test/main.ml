@@ -25,6 +25,7 @@ let () =
       ("spec", Test_spec.tests);
       ("axioms", Test_axioms.tests);
       ("metrics", Test_metrics.tests);
+      ("bench", Test_bench.tests);
       ("datagen", Test_datagen.tests);
       ("engine", Test_engine.tests);
       ("ranking", Test_ranking.tests);

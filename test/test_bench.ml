@@ -1,0 +1,45 @@
+(* Measurement machinery of the bench harness (Runner.measure). *)
+
+module Runner = Xks_bench.Runner
+
+let finite ms = Float.is_finite ms && ms >= 0.0
+
+let test_measure_single_rep () =
+  (* The regression: reps = 1 used to divide by [reps - 1 = 0] and
+     return NaN; now the single timed run is the answer. *)
+  let ms, v = Runner.measure ~reps:1 (fun () -> 40 + 2) in
+  Alcotest.(check int) "result passed through" 42 v;
+  Alcotest.(check bool) "finite, non-negative ms" true (finite ms)
+
+let test_measure_default_reps () =
+  let calls = ref 0 in
+  let ms, v =
+    Runner.measure
+      (fun () ->
+        incr calls;
+        !calls)
+  in
+  Alcotest.(check int) "default is 6 runs" 6 !calls;
+  Alcotest.(check int) "first (warm-up) result returned" 1 v;
+  Alcotest.(check bool) "finite, non-negative ms" true (finite ms)
+
+let test_measure_two_reps () =
+  let calls = ref 0 in
+  let ms, _ = Runner.measure ~reps:2 (fun () -> incr calls) in
+  Alcotest.(check int) "two runs" 2 !calls;
+  Alcotest.(check bool) "finite" true (finite ms)
+
+let test_measure_zero_reps_rejected () =
+  Alcotest.check_raises "reps = 0"
+    (Invalid_argument "Runner.measure: reps must be >= 1") (fun () ->
+      ignore (Runner.measure ~reps:0 (fun () -> ())))
+
+let tests =
+  [
+    Alcotest.test_case "measure with a single rep" `Quick
+      test_measure_single_rep;
+    Alcotest.test_case "measure default reps" `Quick test_measure_default_reps;
+    Alcotest.test_case "measure with two reps" `Quick test_measure_two_reps;
+    Alcotest.test_case "measure rejects zero reps" `Quick
+      test_measure_zero_reps_rejected;
+  ]

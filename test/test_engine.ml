@@ -95,6 +95,57 @@ let test_ranking_prefers_specific () =
         (Xks_xml.Dewey.depth root_node.Xks_xml.Tree.dewey > 0)
   | [] -> Alcotest.fail "expected hits"
 
+(* The degradation signal must survive an empty hit list: a budgeted
+   query over a missing keyword exhausts on the present keywords'
+   postings, degrades all the way down, and the floor returns zero hits
+   — only [search_result] (and the trace) can report that. *)
+let test_search_result_degraded_empty () =
+  let engine = Engine.of_string library_xml in
+  let budget = Xks_robust.Budget.create ~max_nodes:0 () in
+  let t = Xks_trace.Trace.create () in
+  let result =
+    Xks_trace.Trace.with_current t (fun () ->
+        Engine.search_result ~budget engine [ "xml"; "zebra" ])
+  in
+  Alcotest.(check int) "no hits" 0 (List.length result.Engine.hits);
+  Alcotest.(check bool) "degradation reported" true
+    (result.Engine.degraded = Some Xks_robust.Budget.Node_budget);
+  (* The per-hit accessor is blind here — the signal-loss bug this
+     closes. *)
+  Alcotest.(check bool) "hit-list accessor sees nothing" true
+    (Engine.degraded_reason result.Engine.hits = None);
+  Alcotest.(check int) "exactly one degradation event" 1
+    (Xks_trace.Trace.counter t Xks_trace.Trace.Degradations);
+  Alcotest.(check (list string)) "reason recorded" [ "node budget" ]
+    (Xks_trace.Trace.degradation_events t)
+
+let test_search_result_degraded_nonempty () =
+  let engine = Engine.of_string library_xml in
+  let budget = Xks_robust.Budget.create ~max_nodes:0 () in
+  let t = Xks_trace.Trace.create () in
+  let result =
+    Xks_trace.Trace.with_current t (fun () ->
+        Engine.search_result ~budget engine [ "xml"; "search" ])
+  in
+  Alcotest.(check bool) "floor still answers" true (result.Engine.hits <> []);
+  Alcotest.(check bool) "degraded" true
+    (result.Engine.degraded = Some Xks_robust.Budget.Node_budget);
+  Alcotest.(check bool) "hits agree with the result" true
+    (Engine.degraded_reason result.Engine.hits = result.Engine.degraded);
+  Alcotest.(check int) "exactly one degradation event" 1
+    (Xks_trace.Trace.counter t Xks_trace.Trace.Degradations);
+  Alcotest.(check bool) "budget ticks counted" true
+    (Xks_trace.Trace.counter t Xks_trace.Trace.Budget_ticks > 0)
+
+let test_search_result_clean_run () =
+  let engine = Engine.of_string library_xml in
+  let result = Engine.search_result engine [ "xml"; "search" ] in
+  Alcotest.(check bool) "hits" true (result.Engine.hits <> []);
+  Alcotest.(check bool) "not degraded" true (result.Engine.degraded = None);
+  (* search is search_result's hit list. *)
+  Alcotest.(check int) "search agrees" (List.length result.Engine.hits)
+    (List.length (Engine.search engine [ "xml"; "search" ]))
+
 let test_parallel_pruning_identical () =
   (* Enough RTFs to engage the striping. *)
   let doc =
@@ -127,5 +178,10 @@ let tests =
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "empty query rejected" `Quick test_empty_query_rejected;
     Alcotest.test_case "ranking prefers specific results" `Quick test_ranking_prefers_specific;
+    Alcotest.test_case "degraded empty result keeps the signal" `Quick
+      test_search_result_degraded_empty;
+    Alcotest.test_case "degraded non-empty result" `Quick
+      test_search_result_degraded_nonempty;
+    Alcotest.test_case "clean search_result" `Quick test_search_result_clean_run;
     Alcotest.test_case "parallel pruning is identical" `Quick test_parallel_pruning_identical;
   ]

@@ -1,7 +1,10 @@
-(* CFR / APR / APR' / Max APR (Section 5.1). *)
+(* CFR / APR / APR' / Max APR (Section 5.1), plus the Trace
+   observability layer. *)
 
 module Metrics = Xks_metrics.Metrics
 module Engine = Xks_core.Engine
+module Trace = Xks_trace.Trace
+module Json = Xks_trace.Json
 
 let metrics_for xml query =
   let engine = Engine.of_string xml in
@@ -88,6 +91,115 @@ let prop_cfr_one_iff_all_common =
       (abs_float (m.Metrics.cfr -. 1.0) < 1e-9)
       = (m.Metrics.common = m.Metrics.lca_count))
 
+(* --- Trace layer --- *)
+
+let search_doc = "<r><a>w1 w2</a><b>w1</b><c>w2 w1</c></r>"
+
+let test_trace_disabled_is_noop () =
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  (* Recording calls without an installed trace are dropped... *)
+  Trace.add Trace.Nodes_visited 5;
+  Trace.incr Trace.Postings_scanned;
+  Trace.degradation "deadline";
+  Alcotest.(check int) "with_span is transparent" 42
+    (Trace.with_span "outer" (fun () -> 42));
+  (* ...and a full untraced search leaves a later trace at zero. *)
+  let engine = Engine.of_string search_doc in
+  ignore (Engine.search engine [ "w1"; "w2" ]);
+  let t = Trace.create () in
+  List.iter
+    (fun c ->
+      Alcotest.(check int)
+        ("fresh counter " ^ Trace.counter_name c)
+        0 (Trace.counter t c))
+    Trace.all_counters;
+  Alcotest.(check int) "no spans" 0 (List.length (Trace.spans t));
+  Alcotest.(check int) "no events" 0 (List.length (Trace.degradation_events t))
+
+let test_trace_counters_enabled_and_monotone () =
+  let engine = Engine.of_string search_doc in
+  let t = Trace.create () in
+  let snap1, snap2 =
+    Trace.with_current t (fun () ->
+        ignore (Engine.search engine [ "w1"; "w2" ]);
+        let snap1 = List.map snd (Trace.counters t) in
+        ignore (Engine.search engine [ "w1"; "w2" ]);
+        (snap1, List.map snd (Trace.counters t)))
+  in
+  Alcotest.(check bool) "postings scanned" true
+    (Trace.counter t Trace.Postings_scanned > 0);
+  Alcotest.(check bool) "nodes visited" true
+    (Trace.counter t Trace.Nodes_visited > 0);
+  Alcotest.(check bool) "elca pushes" true
+    (Trace.counter t Trace.Elca_pushed > 0);
+  Alcotest.(check bool) "fragment nodes kept" true
+    (Trace.counter t Trace.Frag_nodes_kept > 0);
+  (* Counters only grow; the second identical search adds real work. *)
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "monotone" true (b >= a))
+    snap1 snap2;
+  Alcotest.(check bool) "second search counted" true
+    (List.nth snap2 0 > List.nth snap1 0);
+  (* Not degraded: no events. *)
+  Alcotest.(check int) "no degradations" 0
+    (Trace.counter t Trace.Degradations)
+
+let test_trace_spans_nest () =
+  let t = Trace.create () in
+  Trace.with_current t (fun () ->
+      Trace.with_span "outer" (fun () ->
+          Trace.with_span "inner" (fun () -> ());
+          Trace.with_span "inner2" (fun () -> ())));
+  match Trace.spans t with
+  | [ outer; inner; inner2 ] ->
+      Alcotest.(check string) "outer first (start order)" "outer" outer.Trace.label;
+      Alcotest.(check int) "outer at depth 0" 0 outer.Trace.depth;
+      Alcotest.(check string) "inner second" "inner" inner.Trace.label;
+      Alcotest.(check int) "inner nested" 1 inner.Trace.depth;
+      Alcotest.(check int) "inner2 nested" 1 inner2.Trace.depth;
+      Alcotest.(check bool) "outer spans its children" true
+        (outer.Trace.ms >= inner.Trace.ms)
+  | l -> Alcotest.failf "expected 3 spans, got %d" (List.length l)
+
+let test_trace_search_stage_spans () =
+  let engine = Engine.of_string search_doc in
+  let t = Trace.create () in
+  Trace.with_current t (fun () -> ignore (Engine.search engine [ "w1"; "w2" ]));
+  let spans = Trace.spans t in
+  let find label =
+    match List.find_opt (fun s -> s.Trace.label = label) spans with
+    | Some s -> s
+    | None -> Alcotest.failf "missing span %s" label
+  in
+  Alcotest.(check int) "search is outermost" 0 (find "search").Trace.depth;
+  Alcotest.(check int) "validrtf under search" 1 (find "validrtf").Trace.depth;
+  List.iter
+    (fun stage ->
+      Alcotest.(check int) (stage ^ " under validrtf") 2 (find stage).Trace.depth)
+    [ "lca"; "rtf"; "prune" ];
+  Alcotest.(check int) "rank under search" 1 (find "rank").Trace.depth;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Trace.label ^ " non-negative") true
+        (s.Trace.ms >= 0.0))
+    spans
+
+let test_trace_json_round_trip () =
+  let engine = Engine.of_string search_doc in
+  let t = Trace.create () in
+  Trace.with_current t (fun () -> ignore (Engine.search engine [ "w1" ]));
+  let j = Json.parse (Json.to_string (Trace.to_json t)) in
+  let counters = Option.get (Json.member "counters" j) in
+  Alcotest.(check bool) "postings_scanned exported positive" true
+    (match
+       Option.bind (Json.member "postings_scanned" counters) Json.to_int
+     with
+    | Some n -> n > 0
+    | None -> false);
+  match Option.bind (Json.member "spans" j) Json.to_list with
+  | Some (_ :: _) -> ()
+  | _ -> Alcotest.fail "spans missing from JSON"
+
 let tests =
   [
     Alcotest.test_case "identical results" `Quick test_identical_results;
@@ -97,4 +209,13 @@ let tests =
     Alcotest.test_case "empty results" `Quick test_empty_results;
     Helpers.qtest prop_ranges;
     Helpers.qtest prop_cfr_one_iff_all_common;
+    Alcotest.test_case "trace disabled is a no-op" `Quick
+      test_trace_disabled_is_noop;
+    Alcotest.test_case "trace counters enabled + monotone" `Quick
+      test_trace_counters_enabled_and_monotone;
+    Alcotest.test_case "trace spans nest" `Quick test_trace_spans_nest;
+    Alcotest.test_case "trace search stage spans" `Quick
+      test_trace_search_stage_spans;
+    Alcotest.test_case "trace json round-trip" `Quick
+      test_trace_json_round_trip;
   ]

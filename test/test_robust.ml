@@ -188,7 +188,7 @@ let test_degrades_to_slca_answer () =
   Alcotest.(check bool) "tagged degraded" true
     (Engine.degraded_reason hits = Some Budget.Node_budget);
   List.iter
-    (fun h ->
+    (fun (h : Engine.hit) ->
       Alcotest.(check bool) "every hit tagged" true
         (h.Engine.degraded = Some Budget.Node_budget))
     hits;
