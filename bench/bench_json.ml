@@ -60,12 +60,24 @@ let panels_on_disk figure =
       | Some (J.List panels) ->
           List.filter_map
             (fun p ->
-              match (J.member "dataset" p, J.member "rows" p) with
-              | Some (J.String d), Some rows -> Some (d, rows)
-              | _ -> None)
+              match J.member "dataset" p with
+              | Some (J.String d) -> (
+                  match J.member "rows" p with
+                  | Some rows -> Some (d, rows)
+                  | None -> None)
+              | Some (J.Null | J.Bool _ | J.Int _ | J.Float _ | J.List _ | J.Obj _)
+              | None ->
+                  None)
             panels
-      | _ -> []
-    with _ -> [] (* corrupt or foreign file: start over *)
+      | Some (J.Null | J.Bool _ | J.Int _ | J.Float _ | J.String _ | J.Obj _)
+      | None ->
+          []
+    with
+    (* Corrupt or foreign file: start over.  Only the expected read and
+       parse failures are absorbed — an asynchronous exception
+       (Out_of_memory, Stack_overflow) must still escape. *)
+    | Sys_error _ | End_of_file | J.Parse_error _ ->
+      []
 
 let write figure =
   let panels = match Hashtbl.find_opt acc figure with

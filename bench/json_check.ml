@@ -52,8 +52,15 @@ let () =
             get "counters" (J.member "counters" row)
           in
           (match counters with
-          | J.Obj fields when fields <> [] -> ()
-          | _ -> fail "%s/%s: missing counter snapshot" path name);
+          | J.Obj (_ :: _) -> ()
+          | J.Obj []
+          | J.Null
+          | J.Bool _
+          | J.Int _
+          | J.Float _
+          | J.String _
+          | J.List _ ->
+              fail "%s/%s: missing counter snapshot" path name);
           incr rows_checked)
         rows)
     datasets;

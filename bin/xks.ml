@@ -466,21 +466,27 @@ let () =
   | code -> exit code
   | exception e ->
       let code, msg =
-        match e with
-        | _ when Xks_xml.Parser.error_to_string e <> None ->
-            (exit_parse_error, Option.get (Xks_xml.Parser.error_to_string e))
-        | _ when Xks_xml.Sax.error_to_string e <> None ->
-            (exit_parse_error, Option.get (Xks_xml.Sax.error_to_string e))
-        | _ when Xks_robust.Limits.error_to_string e <> None ->
-            (exit_limit_error, Option.get (Xks_robust.Limits.error_to_string e))
-        | Xks_robust.Budget.Exhausted reason ->
-            ( exit_limit_error,
-              "query budget exhausted: "
-              ^ Xks_robust.Budget.reason_to_string reason )
-        | Failure msg when String.length msg >= 8 && String.sub msg 0 8 = "Persist:"
-          ->
-            (exit_corrupt_index, msg)
-        | Sys_error msg -> (exit_parse_error, msg)
-        | e -> (Cmd.Exit.internal_error, "internal error: " ^ Printexc.to_string e)
+        match Xks_xml.Parser.error_to_string e with
+        | Some msg -> (exit_parse_error, msg)
+        | None -> (
+            match Xks_xml.Sax.error_to_string e with
+            | Some msg -> (exit_parse_error, msg)
+            | None -> (
+                match Xks_robust.Limits.error_to_string e with
+                | Some msg -> (exit_limit_error, msg)
+                | None -> (
+                    match e with
+                    | Xks_robust.Budget.Exhausted reason ->
+                        ( exit_limit_error,
+                          "query budget exhausted: "
+                          ^ Xks_robust.Budget.reason_to_string reason )
+                    | Failure msg
+                      when String.length msg >= 8
+                           && String.sub msg 0 8 = "Persist:" ->
+                        (exit_corrupt_index, msg)
+                    | Sys_error msg -> (exit_parse_error, msg)
+                    | e ->
+                        ( Cmd.Exit.internal_error,
+                          "internal error: " ^ Printexc.to_string e ))))
       in
       die code ("xks: " ^ msg)

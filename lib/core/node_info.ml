@@ -87,7 +87,12 @@ let label_groups info =
     info.rtf_children;
   List.rev_map
     (fun label ->
-      let members = List.rev !(Hashtbl.find groups label) in
+      let members =
+        (* [order] only records labels inserted into [groups] above. *)
+        match Hashtbl.find_opt groups label with
+        | Some members -> List.rev !members
+        | None -> assert false
+      in
       let chklist =
         List.map (fun (i : info) -> i.klist) members
         |> List.sort_uniq Int.compare |> Array.of_list

@@ -6,6 +6,8 @@ type t =
   | Words of string list  (* sorted, deduplicated *)
 
 let empty = Empty
+let str_min a b = if String.compare a b <= 0 then a else b
+let str_max a b = if String.compare a b <= 0 then b else a
 
 let of_words mode ws =
   match ws with
@@ -15,7 +17,7 @@ let of_words mode ws =
       | Approx ->
           let lo, hi =
             List.fold_left
-              (fun (lo, hi) w -> (min lo w, max hi w))
+              (fun (lo, hi) w -> (str_min lo w, str_max hi w))
               (w0, w0) rest
           in
           Minmax (lo, hi)
@@ -33,12 +35,11 @@ let rec merge_sorted a b =
 let merge a b =
   match (a, b) with
   | Empty, x | x, Empty -> x
-  | Minmax (alo, ahi), Minmax (blo, bhi) -> Minmax (min alo blo, max ahi bhi)
+  | Minmax (alo, ahi), Minmax (blo, bhi) ->
+      Minmax (str_min alo blo, str_max ahi bhi)
   | Words a, Words b -> Words (merge_sorted a b)
   | Minmax _, Words _ | Words _, Minmax _ ->
       invalid_arg "Cid.merge: mixing approximate and exact features"
-
-let equal a b = a = b
 
 let compare a b =
   match (a, b) with
@@ -51,6 +52,8 @@ let compare a b =
   | Words a, Words b -> List.compare String.compare a b
   | Minmax _, Words _ -> -1
   | Words _, Minmax _ -> 1
+
+let equal a b = compare a b = 0
 
 let is_empty = function Empty -> true | Minmax _ | Words _ -> false
 

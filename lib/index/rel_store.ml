@@ -42,11 +42,18 @@ let of_tables (tables : Shredder.tables) =
   List.iter
     (fun (r : Shredder.value_row) ->
       let d = Dewey.to_string r.v_dewey in
+      let id =
+        match Hashtbl.find_opt id_of_dewey d with
+        | Some id -> id
+        | None ->
+            invalid_arg
+              ("Rel_store: value row at Dewey " ^ d ^ " has no element row")
+      in
       Table.insert values
         [|
           Value.text r.v_label;
           Value.text d;
-          Value.int (Hashtbl.find id_of_dewey d);
+          Value.int id;
           Value.text r.v_attribute;
           Value.text r.v_keyword;
         |])

@@ -12,7 +12,11 @@ let merged_stream postings =
       let bit = Klist.singleton ~k i in
       Array.iter
         (fun id ->
-          let m = try Hashtbl.find masks id with Not_found -> Klist.empty in
+          let m =
+            match Hashtbl.find_opt masks id with
+            | Some m -> m
+            | None -> Klist.empty
+          in
           Hashtbl.replace masks id (Klist.union m bit))
         s)
     postings;
@@ -26,6 +30,20 @@ type entry = {
       (* own content plus subtrees of non-full-container children *)
   mutable slca_below : bool;
 }
+
+(* Stack discipline: the path stack always contains at least the root
+   while the merged stream is being scanned.  An empty stack here means
+   the pop loop over-popped — fail loudly with the Dewey position being
+   visited instead of a bare [Failure "hd"]. *)
+let stack_top path ~at =
+  match path with
+  | top :: _ -> top
+  | [] ->
+      invalid_arg
+        (Printf.sprintf
+           "Stack_algos: empty path stack while visiting Dewey %s \
+            (stack discipline violated)"
+           (Dewey.to_string at))
 
 (* Generic driver: scans the merged stream maintaining the path stack;
    [on_pop] sees each finalised entry together with its parent. *)
@@ -57,7 +75,7 @@ let scan doc postings ~on_pop =
       (* Extend the path with the components of [dewey] beyond the
          current depth (callers ensure the stack is a prefix). *)
       for d = depth () to Dewey.depth dewey - 1 do
-        let parent = List.hd !path in
+        let parent = stack_top !path ~at:dewey in
         let comp = Dewey.component dewey d in
         let child = (Tree.node doc parent.node_id).children.(comp) in
         path :=
@@ -70,13 +88,15 @@ let scan doc postings ~on_pop =
       let dewey = (Tree.node doc id).dewey in
       let common =
         (* Depth up to which the stack already matches [dewey]. *)
-        Dewey.lca_depth (Tree.node doc (List.hd !path).node_id).dewey dewey
+        Dewey.lca_depth
+          (Tree.node doc (stack_top !path ~at:dewey).node_id).dewey
+          dewey
       in
       while depth () > common do
         pop ()
       done;
       push_to dewey;
-      let top = List.hd !path in
+      let top = stack_top !path ~at:dewey in
       top.total <- Klist.union top.total mask;
       top.free <- Klist.union top.free mask
     in

@@ -122,8 +122,9 @@ let parse s =
               if !pos + 4 >= n then fail !pos "truncated \\u escape";
               let hex = String.sub s (!pos + 1) 4 in
               let code =
-                try int_of_string ("0x" ^ hex)
-                with _ -> fail !pos "bad \\u escape"
+                match int_of_string_opt ("0x" ^ hex) with
+                | Some code -> code
+                | None -> fail !pos "bad \\u escape"
               in
               pos := !pos + 4;
               (* Keep it simple: BMP code points as UTF-8. *)
@@ -231,14 +232,21 @@ let parse s =
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields
-  | _ -> None
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
 
-let to_list = function List l -> Some l | _ -> None
+let to_list = function
+  | List l -> Some l
+  | Null | Bool _ | Int _ | Float _ | String _ | Obj _ -> None
 
 let to_float = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
-  | _ -> None
+  | Null | Bool _ | String _ | List _ | Obj _ -> None
 
-let to_int = function Int i -> Some i | _ -> None
-let to_str = function String s -> Some s | _ -> None
+let to_int = function
+  | Int i -> Some i
+  | Null | Bool _ | Float _ | String _ | List _ | Obj _ -> None
+
+let to_str = function
+  | String s -> Some s
+  | Null | Bool _ | Int _ | Float _ | List _ | Obj _ -> None

@@ -27,8 +27,8 @@ let depth = Array.length
 let compare a b =
   let la = Array.length a and lb = Array.length b in
   let rec loop i =
-    if i = la then if i = lb then 0 else -1
-    else if i = lb then 1
+    if Int.equal i la then if Int.equal i lb then 0 else -1
+    else if Int.equal i lb then 1
     else
       let c = Int.compare a.(i) b.(i) in
       if c <> 0 then c else loop (i + 1)
@@ -39,16 +39,21 @@ let equal a b = compare a b = 0
 
 let is_ancestor_or_self a d =
   let la = Array.length a and ld = Array.length d in
-  la <= ld
+  Int.compare la ld <= 0
   &&
-  let rec loop i = i = la || (a.(i) = d.(i) && loop (i + 1)) in
+  let rec loop i = Int.equal i la || (Int.equal a.(i) d.(i) && loop (i + 1)) in
   loop 0
 
-let is_ancestor a d = Array.length a < Array.length d && is_ancestor_or_self a d
+let is_ancestor a d =
+  Int.compare (Array.length a) (Array.length d) < 0 && is_ancestor_or_self a d
 
 let lca_depth a b =
-  let n = min (Array.length a) (Array.length b) in
-  let rec loop i = if i < n && a.(i) = b.(i) then loop (i + 1) else i in
+  let n = Int.min (Array.length a) (Array.length b) in
+  (* Plain int comparisons in the scan loop: both operands are array
+     indices, so the polymorphic specialisation is exact and the bounds
+     check reads better than an Int.compare dance. *)
+  (* xkslint: allow poly-compare *)
+  let rec loop i = if i < n && Int.equal a.(i) b.(i) then loop (i + 1) else i in
   loop 0
 
 let lca a b = Array.sub a 0 (lca_depth a b)
@@ -58,7 +63,7 @@ let lca_list = function
   | d :: ds -> List.fold_left lca d ds
 
 let prefix d n =
-  if n < 0 || n > Array.length d then invalid_arg "Dewey.prefix";
+  if n < 0 || Int.compare n (Array.length d) > 0 then invalid_arg "Dewey.prefix";
   Array.sub d 0 n
 
 let component d i = d.(i)

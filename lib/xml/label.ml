@@ -14,7 +14,7 @@ let intern tbl s =
   | Some id -> id
   | None ->
       let id = tbl.next in
-      if id = Array.length tbl.names then begin
+      if Int.equal id (Array.length tbl.names) then begin
         let names = Array.make (2 * id) "" in
         Array.blit tbl.names 0 names 0 id;
         tbl.names <- names
@@ -27,7 +27,8 @@ let intern tbl s =
 let find tbl s = Hashtbl.find_opt tbl.by_name s
 
 let name tbl id =
-  if id < 0 || id >= tbl.next then invalid_arg "Label.name: unknown id";
+  if id < 0 || Int.compare id tbl.next >= 0 then
+    invalid_arg "Label.name: unknown id";
   tbl.names.(id)
 
 let count tbl = tbl.next

@@ -177,7 +177,8 @@ let apply_pred doc pred candidates =
           Hashtbl.replace seen n.parent (count + 1);
           count + 1 = k)
         candidates
-  | p -> List.filter (fun n -> non_position_pred doc n p) candidates
+  | (Attr_exists _ | Attr_eq _ | Child_text_eq _ | Self_text_eq _) as p ->
+      List.filter (fun n -> non_position_pred doc n p) candidates
 
 let dedup_sorted nodes =
   let sorted =

@@ -30,5 +30,6 @@ let () =
       ("engine", Test_engine.tests);
       ("ranking", Test_ranking.tests);
       ("extensions", Test_extensions.tests);
+      ("check", Test_check.tests);
       ("paper_figures", Test_paper_figures.tests);
     ]

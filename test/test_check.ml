@@ -1,0 +1,142 @@
+(* Tests for lib/check: the dynamic invariant checker and the
+   differential oracle.  The load-bearing property is sensitivity — a
+   deliberately broken SLCA implementation must be flagged — plus the
+   converse: the real pipeline over the paper fixtures audits clean. *)
+
+module Fixtures = Xks_datagen.Paper_fixtures
+module Inverted = Xks_index.Inverted
+module Naive = Xks_lca.Naive
+module Invariant = Xks_check.Invariant
+module Oracle = Xks_check.Oracle
+
+let publications_index () = Inverted.build (Fixtures.publications ())
+
+let postings_for idx keywords = Inverted.postings idx keywords
+
+let rules violations = List.map (fun (v : Invariant.violation) -> v.rule) violations
+
+(* --- oracle sensitivity: broken implementations must be caught --- *)
+
+let test_oracle_flags_broken_slca () =
+  let idx = publications_index () in
+  let doc = Inverted.doc idx in
+  let postings = postings_for idx Fixtures.q2 in
+  (* "Broken" SLCA: reports the ELCA set instead.  On q2 over the
+     Figure 1(a) document the two differ — the ELCA set {4, 13} keeps an
+     ancestor that the SLCA set {13} excludes. *)
+  let broken =
+    { Oracle.name = "broken-elca-as-slca"; compute = Naive.elca }
+  in
+  let violations = Oracle.slca ~impls:[ broken ] doc postings in
+  Alcotest.(check bool) "broken impl flagged" true (violations <> []);
+  List.iter
+    (fun (v : Invariant.violation) ->
+      Alcotest.(check string) "rule id" "oracle-slca" v.rule;
+      Alcotest.(check bool)
+        "names the implementation" true
+        (Helpers.contains v.detail "broken-elca-as-slca"))
+    violations
+
+let test_oracle_flags_dropped_result () =
+  let idx = publications_index () in
+  let doc = Inverted.doc idx in
+  let postings = postings_for idx Fixtures.q1 in
+  let broken =
+    {
+      Oracle.name = "broken-drop-first";
+      compute =
+        (fun doc postings ->
+          match Naive.slca doc postings with [] -> [] | _ :: rest -> rest);
+    }
+  in
+  let violations = Oracle.slca ~impls:[ broken ] doc postings in
+  Alcotest.(check bool) "dropped result flagged" true (violations <> [])
+
+let test_oracle_flags_broken_elca () =
+  let idx = publications_index () in
+  let doc = Inverted.doc idx in
+  let postings = postings_for idx Fixtures.q1 in
+  let broken = { Oracle.name = "broken-empty"; compute = (fun _ _ -> []) } in
+  let violations = Oracle.elca ~impls:[ broken ] doc postings in
+  Alcotest.(check (list string)) "rule ids" [ "oracle-elca" ] (rules violations)
+
+(* --- oracle soundness: the real implementations audit clean --- *)
+
+let test_real_impls_clean () =
+  let idx = publications_index () in
+  let doc = Inverted.doc idx in
+  List.iter
+    (fun q ->
+      let postings = postings_for idx q in
+      Alcotest.(check (list string))
+        "elca impls agree" [] (rules (Oracle.elca doc postings));
+      Alcotest.(check (list string))
+        "slca impls agree" [] (rules (Oracle.slca doc postings)))
+    [ Fixtures.q1; Fixtures.q2; Fixtures.q3; Fixtures.q4; Fixtures.q5 ]
+
+let test_check_query_clean () =
+  let idx = publications_index () in
+  let violations =
+    List.concat_map (Oracle.check_query idx)
+      [ Fixtures.q1; Fixtures.q2; Fixtures.q3; Fixtures.q4; Fixtures.q5 ]
+  in
+  Alcotest.(check (list string)) "full audit clean" [] (rules violations)
+
+(* --- invariant checks: corrupted inputs must be flagged --- *)
+
+let test_posting_flags_unsorted () =
+  let doc = Fixtures.publications () in
+  let sorted = Inverted.posting (publications_index ()) "xml" in
+  Alcotest.(check (list string)) "clean posting" [] (rules (Invariant.posting doc sorted));
+  let unsorted = Array.of_list (List.rev (Array.to_list sorted)) in
+  Alcotest.(check bool)
+    "reversed posting flagged" true
+    (Invariant.posting doc unsorted <> []);
+  let dup = Array.append sorted [| sorted.(0) |] in
+  Alcotest.(check bool)
+    "duplicate flagged" true
+    (Invariant.posting doc dup <> [])
+
+let test_posting_flags_out_of_range () =
+  let doc = Fixtures.publications () in
+  let violations = Invariant.posting doc [| Xks_xml.Tree.size doc |] in
+  Alcotest.(check bool) "out-of-range id flagged" true (violations <> [])
+
+let test_doc_order_flags_shuffle () =
+  let doc = Fixtures.publications () in
+  let ids = Inverted.posting (publications_index ()) "xml" in
+  Alcotest.(check (list string))
+    "clean doc order" [] (rules (Invariant.doc_order doc ids));
+  if Array.length ids >= 2 then begin
+    let shuffled = Array.copy ids in
+    let tmp = shuffled.(0) in
+    shuffled.(0) <- shuffled.(Array.length ids - 1);
+    shuffled.(Array.length ids - 1) <- tmp;
+    Alcotest.(check bool)
+      "swapped ids flagged" true
+      (Invariant.doc_order doc shuffled <> [])
+  end
+
+let test_index_invariant_clean () =
+  Alcotest.(check (list string))
+    "whole index clean" [] (rules (Invariant.index (publications_index ())))
+
+let tests =
+  [
+    Alcotest.test_case "oracle flags broken slca" `Quick
+      test_oracle_flags_broken_slca;
+    Alcotest.test_case "oracle flags dropped result" `Quick
+      test_oracle_flags_dropped_result;
+    Alcotest.test_case "oracle flags broken elca" `Quick
+      test_oracle_flags_broken_elca;
+    Alcotest.test_case "real impls audit clean" `Quick test_real_impls_clean;
+    Alcotest.test_case "check_query clean on fixtures" `Quick
+      test_check_query_clean;
+    Alcotest.test_case "posting flags unsorted/dup" `Quick
+      test_posting_flags_unsorted;
+    Alcotest.test_case "posting flags out-of-range" `Quick
+      test_posting_flags_out_of_range;
+    Alcotest.test_case "doc_order flags shuffle" `Quick
+      test_doc_order_flags_shuffle;
+    Alcotest.test_case "index invariant clean" `Quick test_index_invariant_clean;
+  ]

@@ -179,10 +179,13 @@ let test_workload_bands () =
     List.fold_left (fun m w -> min m (Inverted.occurrence_count idx w)) max_int ws
   in
   match bands with
-  | [ (Workload_gen.Rare, r); (Workload_gen.Medium, m); (Workload_gen.Frequent, f) ] ->
+  | [ (b_r, r); (b_m, m); (b_f, f) ] ->
+      Alcotest.(check bool) "band order" true
+        (b_r = Workload_gen.Rare && b_m = Workload_gen.Medium
+        && b_f = Workload_gen.Frequent);
       Alcotest.(check bool) "rare <= medium" true (max_count r <= min_count m || m = []);
       Alcotest.(check bool) "medium <= frequent" true (max_count m <= min_count f || f = [])
-  | _ -> Alcotest.fail "unexpected band structure"
+  | [] | _ :: _ -> Alcotest.fail "unexpected band structure"
 
 let test_expand_unknown () =
   Alcotest.check_raises "unknown letter"

@@ -53,13 +53,14 @@ let test_stopword_gap_blocks_phrase () =
 let test_parse_term () =
   (match Phrase.parse_term "\"XML Keyword\"" with
   | Phrase.Phrase [ "xml"; "keyword" ] -> ()
-  | _ -> Alcotest.fail "expected a phrase");
+  | Phrase.Phrase _ | Phrase.Word _ -> Alcotest.fail "expected a phrase");
   (match Phrase.parse_term "\"xml\"" with
   | Phrase.Word "xml" -> ()
-  | _ -> Alcotest.fail "single-word phrase collapses");
+  | Phrase.Word _ | Phrase.Phrase _ ->
+      Alcotest.fail "single-word phrase collapses");
   (match Phrase.parse_term "plain" with
   | Phrase.Word "plain" -> ()
-  | _ -> Alcotest.fail "bare word");
+  | Phrase.Word _ | Phrase.Phrase _ -> Alcotest.fail "bare word");
   Alcotest.(check string) "to_string" "\"xml keyword\""
     (Phrase.term_to_string (Phrase.Phrase [ "xml"; "keyword" ]))
 

@@ -31,9 +31,8 @@ let test_text_segments_untrimmed () =
 
 let test_entities_and_cdata () =
   let events = events_of "<a>&amp;<![CDATA[<x>]]></a>" in
-  match events with
-  | [ Start _; Text t; End _ ] -> Alcotest.(check string) "decoded" "&<x>" t
-  | _ -> Alcotest.fail "unexpected stream shape"
+  Alcotest.(check bool) "decoded" true
+    (events = [ Start ("a", []); Text "&<x>"; End "a" ])
 
 let test_balanced_on_random_docs =
   QCheck2.Test.make ~name:"starts and ends balance on generated documents"

@@ -1,0 +1,58 @@
+(* check_runner — drives lib/check over the paper fixtures and a
+   generated corpus.
+
+   Exit 0 when every invariant holds and every optimised algorithm
+   agrees with the naive reference; exit 1 with one line per violation
+   otherwise.  Wired into [dune build @check] (and the @analyze
+   umbrella). *)
+
+module Inverted = Xks_index.Inverted
+module Fixtures = Xks_datagen.Paper_fixtures
+module Invariant = Xks_check.Invariant
+module Oracle = Xks_check.Oracle
+
+let generated_queries = 120
+
+let report corpus violations =
+  List.iter
+    (fun x -> Printf.printf "%s: %s\n" corpus (Invariant.to_string x))
+    violations;
+  List.length violations
+
+let check_corpus name doc queries =
+  let idx = Inverted.build doc in
+  let bad = report name (Invariant.index idx) in
+  bad + report name (Oracle.check_workload idx queries)
+
+let () =
+  let paper_queries =
+    [ Fixtures.q1; Fixtures.q2; Fixtures.q3; Fixtures.q4; Fixtures.q5 ]
+  in
+  (* The paper's two example documents, audited under all five example
+     queries each (a query whose keywords miss the document exercises
+     the empty-result paths). *)
+  let bad = ref 0 in
+  bad := !bad + check_corpus "publications" (Fixtures.publications ()) paper_queries;
+  bad := !bad + check_corpus "team" (Fixtures.team ()) paper_queries;
+  (* A generated DBLP-shaped corpus under a random workload mixing
+     keyword frequencies. *)
+  let doc =
+    Xks_datagen.Dblp_gen.(
+      generate ~config:{ default_config with entries = 400; seed = 7 } ())
+  in
+  let idx = Inverted.build doc in
+  let workload =
+    Xks_datagen.Workload_gen.generate ~seed:11 ~count:generated_queries idx
+  in
+  bad := !bad + report "dblp-gen" (Invariant.index idx);
+  bad := !bad + report "dblp-gen" (Oracle.check_workload idx workload);
+  let audited = (2 * List.length paper_queries) + List.length workload in
+  if !bad = 0 then
+    Printf.printf
+      "check: ok — %d queries audited (invariants, ELCA/SLCA differential, \
+       Definition 4 post-conditions)\n"
+      audited
+  else begin
+    Printf.eprintf "check: %d violation(s) across %d queries\n" !bad audited;
+    exit 1
+  end

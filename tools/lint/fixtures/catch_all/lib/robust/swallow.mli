@@ -1,0 +1,5 @@
+val swallow : (unit -> 'a option) -> 'a option
+val swallow_alias : (unit -> exn option) -> exn option
+val swallow_or : (unit -> 'a option) -> 'a option
+val ok : (unit -> 'a option) -> 'a option
+val allowed : (unit -> 'a option) -> 'a option

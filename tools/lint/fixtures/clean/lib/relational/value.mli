@@ -1,0 +1,8 @@
+type t = Int of int | Text of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val loose_equal : t -> t -> bool
+val find_first : (string, 'a) Hashtbl.t -> string -> 'a
+val read_int : string -> int
+val describe : Format.formatter -> t -> unit

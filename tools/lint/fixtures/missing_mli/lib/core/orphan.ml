@@ -1,0 +1,2 @@
+(* Fixture for the missing-mli rule: no orphan.mli next to this file. *)
+let answer = 42

@@ -1,0 +1,8 @@
+val first : 'a list -> 'a
+val rest : 'a list -> 'a list
+val second : 'a list -> 'a
+val force : 'a option -> 'a
+val lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b
+val ok_lookup : ('a, 'b) Hashtbl.t -> 'a -> 'b option
+val ok_first : 'a list -> 'a option
+val allowed : 'a list -> 'a

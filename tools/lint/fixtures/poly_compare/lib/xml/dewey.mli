@@ -1,0 +1,10 @@
+type t = int array
+
+val bad_equal : t -> t -> bool
+val bad_compare : t -> t -> int
+val bad_min : 'a -> 'a -> 'a
+val bad_phys : t -> t -> bool
+val bad_less : t -> t -> bool
+val ok_literal : int -> bool
+val ok_qualified : int -> int -> int
+val allowed : t -> t -> bool

@@ -1,0 +1,7 @@
+val bad_endline : unit -> unit
+val bad_printf : int -> unit
+val bad_format : unit -> unit
+val bad_string : unit -> unit
+val ok_fprintf : Format.formatter -> unit
+val ok_stderr : unit -> unit
+val allowed : unit -> unit

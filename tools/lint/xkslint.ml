@@ -1,0 +1,386 @@
+(* xkslint — repo-local static analysis for the xks sources.
+
+   A dependency-free lint pass built on the compiler's own front end
+   ([Parse.implementation] + [Ast_iterator]): it re-parses every [.ml]
+   under the directories given on the command line and enforces the
+   repo rules documented in DESIGN.md ("Static analysis & invariants"):
+
+   R1 [poly-compare]   In modules that define a dedicated comparator
+                       (dewey.ml, label.ml, cid.ml, value.ml), the
+                       polymorphic primitives are banned: [compare],
+                       [==]/[!=], [min]/[max] always (unless the module
+                       shadows them), and [=] [<>] [<] [>] [<=] [>=]
+                       whenever neither operand is a literal constant.
+                       Comparing against a literal ([c <> 0], [n = 0])
+                       pins the type to an immediate and stays legal;
+                       comparing two computed values is where the
+                       polymorphic order silently diverges from the
+                       dedicated one (e.g. on [Dewey.t] it is
+                       length-major, not document order).
+   R2 [partial-call]   No partial stdlib calls ([List.hd], [List.tl],
+                       [List.nth], [Option.get], [Hashtbl.find])
+                       outside test code: a violated invariant must
+                       fail with a descriptive exception, not a bare
+                       [Failure "hd"].
+   R3 [catch-all]      No [try ... with _ ->]: a wildcard handler
+                       swallows [Out_of_memory] and [Stack_overflow].
+   R4 [stdout-print]   No [print_*]/[Printf.printf]/[Format.printf]
+                       from library code — stdout is the CLI's result
+                       channel.
+   R5 [missing-mli]    Every library module needs an interface file.
+
+   Findings print as [file:line: [rule] message]; a finding is
+   suppressed by the comment [(* xkslint: allow <rule> *)] on the same
+   line or the line directly above.  Exit status: 0 clean, 1 findings,
+   2 usage or parse errors. *)
+
+module StringSet = Set.Make (String)
+
+type rule =
+  | Poly_compare
+  | Partial_call
+  | Catch_all
+  | Stdout_print
+  | Missing_mli
+
+let rule_id = function
+  | Poly_compare -> "poly-compare"
+  | Partial_call -> "partial-call"
+  | Catch_all -> "catch-all"
+  | Stdout_print -> "stdout-print"
+  | Missing_mli -> "missing-mli"
+
+type finding = { file : string; line : int; rule : rule; msg : string }
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+
+(* Modules with a dedicated comparator (R1 applies inside them). *)
+let comparator_modules = [ "dewey.ml"; "label.ml"; "cid.ml"; "value.ml" ]
+
+(* (module, function) pairs banned by R2. *)
+let partial_calls =
+  [
+    ("List", "hd");
+    ("List", "tl");
+    ("List", "nth");
+    ("Option", "get");
+    ("Hashtbl", "find");
+  ]
+
+(* Bare identifiers banned by R4 in library code. *)
+let stdout_idents =
+  [
+    "print_string";
+    "print_bytes";
+    "print_int";
+    "print_char";
+    "print_float";
+    "print_endline";
+    "print_newline";
+  ]
+
+(* Qualified identifiers banned by R4 in library code. *)
+let stdout_qualified =
+  [
+    ("Printf", "printf");
+    ("Format", "printf");
+    ("Format", "print_string");
+    ("Format", "print_newline");
+    ("Format", "print_flush");
+  ]
+
+(* Identifiers banned unconditionally by R1 (unless shadowed). *)
+let poly_idents = [ "compare"; "min"; "max"; "==" ; "!=" ]
+
+(* Operators banned by R1 when neither operand is a literal. *)
+let poly_relational = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+(* ------------------------------------------------------------------ *)
+(* File classification                                                *)
+
+type area = Lib | Bin | Bench | Test | Other_area
+
+let area_of_path path =
+  let segs = String.split_on_char '/' path in
+  let has s = List.exists (String.equal s) segs in
+  let test_seg s = String.length s >= 4 && String.equal (String.sub s 0 4) "test" in
+  if List.exists test_seg segs then Test
+  else if has "lib" then Lib
+  else if has "bin" then Bin
+  else if has "bench" then Bench
+  else Other_area
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist comments                                                 *)
+
+let allow_marker = "xkslint: allow "
+
+(* Line numbers (1-based) carrying an [xkslint: allow <rule>] comment,
+   mapped to the allowed rule ids. *)
+let scan_allows src =
+  let allows = Hashtbl.create 8 in
+  let add_allow line rule =
+    let prev =
+      match Hashtbl.find_opt allows line with
+      | Some s -> s
+      | None -> StringSet.empty
+    in
+    Hashtbl.replace allows line (StringSet.add rule prev)
+  in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i text ->
+      let mlen = String.length allow_marker in
+      let tlen = String.length text in
+      let rec find from =
+        if from + mlen > tlen then ()
+        else if String.equal (String.sub text from mlen) allow_marker then begin
+          let stop = ref (from + mlen) in
+          let word_char c =
+            (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || Char.equal c '-'
+          in
+          while !stop < tlen && word_char text.[!stop] do
+            incr stop
+          done;
+          add_allow (i + 1) (String.sub text (from + mlen) (!stop - (from + mlen)));
+          find !stop
+        end
+        else find (from + 1)
+      in
+      find 0)
+    lines;
+  allows
+
+let allowed allows line rule =
+  let at l =
+    match Hashtbl.find_opt allows l with
+    | Some s -> StringSet.mem (rule_id rule) s
+    | None -> false
+  in
+  at line || at (line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Per-file AST checks                                                *)
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+
+(* Names let-bound anywhere in the file: a module that defines its own
+   [compare]/[min]/[max] may use them bare. *)
+let bound_names structure =
+  let names = ref StringSet.empty in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.Parsetree.ppat_desc with
+          | Parsetree.Ppat_var { txt; _ } -> names := StringSet.add txt !names
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.structure it structure;
+  !names
+
+let is_literal (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true (* [], None, true, () … *)
+  | Pexp_variant (_, None) -> true
+  | _ -> false
+
+let rec pattern_is_catch_all (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (q, _) -> pattern_is_catch_all q
+  | Ppat_or (a, b) -> pattern_is_catch_all a || pattern_is_catch_all b
+  | _ -> false
+
+let check_file path =
+  let findings = ref [] in
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let allows = scan_allows src in
+  let area = area_of_path path in
+  let emit line rule msg =
+    if not (allowed allows line rule) then
+      findings := { file = path; line; rule; msg } :: !findings
+  in
+  (* R5: library modules need an interface. *)
+  (match area with
+  | Lib ->
+      if not (Sys.file_exists (path ^ "i")) then
+        emit 1 Missing_mli
+          (Printf.sprintf "library module %s has no interface file (%si)"
+             (Filename.basename path)
+             (Filename.basename path))
+  | Bin | Bench | Test | Other_area -> ());
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  let structure = Parse.implementation lexbuf in
+  let comparator_module =
+    List.exists (String.equal (Filename.basename path)) comparator_modules
+  in
+  let shadowed = if comparator_module then bound_names structure else StringSet.empty in
+  let check_ident loc (id : Longident.t) =
+    match id with
+    | Lident name ->
+        if
+          comparator_module
+          && List.exists (String.equal name) poly_idents
+          && not (StringSet.mem name shadowed)
+        then
+          emit (line_of loc) Poly_compare
+            (Printf.sprintf
+               "polymorphic '%s' in a module with a dedicated comparator; \
+                use Int/String/%s functions instead"
+               name
+               (String.capitalize_ascii
+                  (Filename.remove_extension (Filename.basename path))));
+        if
+          (match area with Lib -> true | Bin | Bench | Test | Other_area -> false)
+          && List.exists (String.equal name) stdout_idents
+        then
+          emit (line_of loc) Stdout_print
+            (Printf.sprintf
+               "'%s' writes to stdout from library code (stdout is the \
+                CLI's result channel); return data or use Format on an \
+                explicit formatter"
+               name)
+    | Ldot (Lident m, f) ->
+        if
+          (match area with Test -> false | Lib | Bin | Bench | Other_area -> true)
+          && List.exists
+               (fun (bm, bf) -> String.equal m bm && String.equal f bf)
+               partial_calls
+        then
+          emit (line_of loc) Partial_call
+            (Printf.sprintf
+               "partial '%s.%s' outside test code; match explicitly or use \
+                a total alternative (%s) so a broken invariant fails with \
+                a descriptive exception"
+               m f
+               (match f with
+               | "hd" | "tl" -> "a pattern match on the list"
+               | "nth" -> "List.nth_opt"
+               | "get" -> "Option.value or a pattern match"
+               | "find" -> "Hashtbl.find_opt"
+               | _ -> "an _opt variant"));
+        if
+          (match area with Lib -> true | Bin | Bench | Test | Other_area -> false)
+          && List.exists
+               (fun (bm, bf) -> String.equal m bm && String.equal f bf)
+               stdout_qualified
+        then
+          emit (line_of loc) Stdout_print
+            (Printf.sprintf
+               "'%s.%s' writes to stdout from library code (stdout is the \
+                CLI's result channel)"
+               m f)
+    | Ldot _ | Lapply _ -> ()
+  in
+  let expr_hook it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun (c : Parsetree.case) ->
+            if pattern_is_catch_all c.pc_lhs then
+              emit (line_of c.pc_lhs.ppat_loc) Catch_all
+                "catch-all exception handler ('with _ ->') swallows \
+                 Out_of_memory and Stack_overflow; match the specific \
+                 exceptions instead")
+          cases
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Lident op; loc }; _ }, args)
+      when comparator_module
+           && List.exists (String.equal op) poly_relational
+           && not (StringSet.mem op shadowed) -> (
+        match args with
+        | (_, a) :: (_, b) :: _ ->
+            if not (is_literal a || is_literal b) then
+              emit (line_of loc) Poly_compare
+                (Printf.sprintf
+                   "polymorphic '%s' on two computed operands in a module \
+                    with a dedicated comparator; use Int.equal/Int.compare \
+                    (comparing against a literal is fine)"
+                   op)
+        | _ -> ())
+    | Pexp_ident { txt; loc } -> check_ident loc txt
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr = expr_hook } in
+  it.structure it structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* Directory walk and reporting                                       *)
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry > 0 && not (Char.equal entry.[0] '.') then
+          walk (Filename.concat path entry) acc
+        else acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ ->
+        prerr_endline "usage: xkslint DIR...";
+        exit 2
+  in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "xkslint: no such file or directory: %s\n" r;
+        exit 2
+      end)
+    roots;
+  let files = List.concat_map (fun r -> List.rev (walk r [])) roots in
+  let findings =
+    List.concat_map
+      (fun f ->
+        match check_file f with
+        | findings -> findings
+        | exception Syntaxerr.Error _ ->
+            Printf.eprintf "xkslint: %s: syntax error\n" f;
+            exit 2)
+      files
+  in
+  let findings =
+    List.sort
+      (fun a b ->
+        let c = String.compare a.file b.file in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.line b.line in
+          if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule))
+      findings
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "%s:%d: [%s] %s\n" f.file f.line (rule_id f.rule) f.msg)
+    findings;
+  match findings with
+  | [] -> ()
+  | _ :: _ ->
+      Printf.eprintf "xkslint: %d finding(s) in %d file(s) (%d files scanned)\n"
+        (List.length findings)
+        (List.length
+           (List.sort_uniq String.compare (List.map (fun f -> f.file) findings)))
+        (List.length files);
+      exit 1
