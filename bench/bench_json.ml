@@ -16,16 +16,25 @@ let path figure = Filename.concat !out_dir ("BENCH_" ^ figure ^ ".json")
 let counters_json counters =
   J.Obj (List.map (fun (name, v) -> (name, J.Int v)) counters)
 
+(* Percentile fields of one timing distribution, prefixed with the
+   algorithm name: maxmatch_ms, maxmatch_p50_ms, ... *)
+let dist_fields prefix (d : Runner.dist) =
+  [
+    (prefix ^ "_ms", J.Float d.Runner.mean_ms);
+    (prefix ^ "_p50_ms", J.Float d.Runner.p50_ms);
+    (prefix ^ "_p95_ms", J.Float d.Runner.p95_ms);
+    (prefix ^ "_p99_ms", J.Float d.Runner.p99_ms);
+  ]
+
 let fig5_row (r : Runner.row) =
   J.Obj
-    [
-      ("query", J.String r.mnemonic);
-      ("keywords", J.List (List.map (fun w -> J.String w) r.keywords));
-      ("maxmatch_ms", J.Float r.maxmatch_ms);
-      ("validrtf_ms", J.Float r.validrtf_ms);
-      ("rtfs", J.Int r.rtf_count);
-      ("counters", counters_json r.counters);
-    ]
+    ([
+       ("query", J.String r.mnemonic);
+       ("keywords", J.List (List.map (fun w -> J.String w) r.keywords));
+     ]
+    @ dist_fields "maxmatch" r.maxmatch
+    @ dist_fields "validrtf" r.validrtf
+    @ [ ("rtfs", J.Int r.rtf_count); ("counters", counters_json r.counters) ])
 
 let fig6_row (r : Runner.row) =
   let m = r.metrics in
@@ -127,3 +136,51 @@ let record_fig5 ~dataset rows =
 
 let record_fig6 ~dataset rows =
   record ~figure:"fig6" ~dataset (List.map fig6_row rows)
+
+(* --- BENCH_throughput.json: batch-execution scaling --- *)
+
+type throughput_row = {
+  jobs : int;  (* 1 = the sequential, uncached baseline *)
+  elapsed_ms : float;
+  qps : float;
+  speedup : float;  (* qps relative to the jobs = 1 row *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+}
+
+let throughput_row_json r =
+  J.Obj
+    [
+      ("jobs", J.Int r.jobs);
+      ("elapsed_ms", J.Float r.elapsed_ms);
+      ("qps", J.Float r.qps);
+      ("speedup", J.Float r.speedup);
+      ("cache_hits", J.Int r.cache_hits);
+      ("cache_misses", J.Int r.cache_misses);
+      ("cache_evictions", J.Int r.cache_evictions);
+    ]
+
+(* Unlike the figure files this one is written whole — a throughput run
+   always sweeps every jobs value, so there are no panels to merge. *)
+let record_throughput ~dataset ~queries ~distinct ~cache_mb rows =
+  let doc =
+    J.Obj
+      [
+        ("figure", J.String "throughput");
+        ("unit", J.String "qps");
+        ("dataset", J.String dataset);
+        ("queries", J.Int queries);
+        ("distinct", J.Int distinct);
+        ("cache_mb", J.Int cache_mb);
+        ("rows", J.List (List.map throughput_row_json rows));
+      ]
+  in
+  let file = path "throughput" in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Printf.printf "# wrote %s\n" file

@@ -8,17 +8,9 @@ let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("json_check: " ^ msg);
 
 let get what = function Some v -> v | None -> fail "missing %s" what
 
-let () =
-  if Array.length Sys.argv < 2 then fail "usage: json_check FILE";
-  let path = Sys.argv.(1) in
-  let s =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let doc = try J.parse s with J.Parse_error msg -> fail "%s: %s" path msg in
-  let figure = get "figure" (Option.bind (J.member "figure" doc) J.to_str) in
+(* --- fig5 / fig6: per-dataset panels of per-query rows --- *)
+
+let check_figure path figure doc =
   let datasets =
     get "datasets" (Option.bind (J.member "datasets" doc) J.to_list)
   in
@@ -40,8 +32,20 @@ let () =
           ignore (str "query" : string);
           (match figure with
           | "fig5" ->
-              let v = num "validrtf_ms" and m = num "maxmatch_ms" in
-              if v < 0.0 || m < 0.0 then fail "%s/%s: negative timing" path name;
+              (* Mean and the warm-excluded percentile ladder, per
+                 algorithm; percentiles must be ordered. *)
+              List.iter
+                (fun prefix ->
+                  let mean = num (prefix ^ "_ms") in
+                  let p50 = num (prefix ^ "_p50_ms") in
+                  let p95 = num (prefix ^ "_p95_ms") in
+                  let p99 = num (prefix ^ "_p99_ms") in
+                  if mean < 0.0 || p50 < 0.0 then
+                    fail "%s/%s: negative %s timing" path name prefix;
+                  if p50 > p95 || p95 > p99 then
+                    fail "%s/%s: %s percentiles not monotone (%.4f/%.4f/%.4f)"
+                      path name prefix p50 p95 p99)
+                [ "validrtf"; "maxmatch" ];
               ignore (get "rtfs" (Option.bind (J.member "rtfs" row) J.to_int) : int)
           | "fig6" ->
               ignore (num "cfr" : float);
@@ -64,4 +68,67 @@ let () =
           incr rows_checked)
         rows)
     datasets;
-  Printf.printf "json_check: %s ok (%s, %d rows)\n" path figure !rows_checked
+  !rows_checked
+
+(* --- throughput: one row per jobs value over a shared workload --- *)
+
+let check_throughput path doc =
+  ignore (get "dataset" (Option.bind (J.member "dataset" doc) J.to_str) : string);
+  let total =
+    get "queries" (Option.bind (J.member "queries" doc) J.to_int)
+  in
+  if total < 1 then fail "%s: empty workload" path;
+  let rows = get "rows" (Option.bind (J.member "rows" doc) J.to_list) in
+  if rows = [] then fail "%s: no rows" path;
+  let parsed =
+    List.map
+      (fun row ->
+        let num k = get k (Option.bind (J.member k row) J.to_float) in
+        let int k = get k (Option.bind (J.member k row) J.to_int) in
+        let jobs = int "jobs" in
+        let qps = num "qps" in
+        if jobs < 1 then fail "%s: jobs < 1" path;
+        if num "elapsed_ms" <= 0.0 || qps <= 0.0 then
+          fail "%s: non-positive timing at jobs=%d" path jobs;
+        List.iter
+          (fun k -> if int k < 0 then fail "%s: negative %s" path k)
+          [ "cache_hits"; "cache_misses"; "cache_evictions" ];
+        (jobs, qps, num "speedup"))
+      rows
+  in
+  let jobs_seen = List.map (fun (j, _, _) -> j) parsed in
+  if List.length (List.sort_uniq Int.compare jobs_seen) <> List.length jobs_seen
+  then fail "%s: duplicate jobs rows" path;
+  let base_qps =
+    match List.find_opt (fun (j, _, _) -> j = 1) parsed with
+    | Some (_, qps, _) -> qps
+    | None -> fail "%s: no jobs=1 baseline row" path
+  in
+  (* The speedup column must be derived from the qps column. *)
+  List.iter
+    (fun (jobs, qps, speedup) ->
+      let expect = qps /. base_qps in
+      if Float.abs (speedup -. expect) > 0.001 *. expect then
+        fail "%s: speedup %.3f at jobs=%d inconsistent with qps (expected %.3f)"
+          path speedup jobs expect)
+    parsed;
+  List.length parsed
+
+let () =
+  if Array.length Sys.argv < 2 then fail "usage: json_check FILE";
+  let path = Sys.argv.(1) in
+  let s =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let doc = try J.parse s with J.Parse_error msg -> fail "%s: %s" path msg in
+  let figure = get "figure" (Option.bind (J.member "figure" doc) J.to_str) in
+  let rows_checked =
+    match figure with
+    | "throughput" -> check_throughput path doc
+    | "fig5" | "fig6" -> check_figure path figure doc
+    | f -> fail "unknown figure %S" f
+  in
+  Printf.printf "json_check: %s ok (%s, %d rows)\n" path figure rows_checked

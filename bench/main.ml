@@ -25,12 +25,13 @@ let print_fig5 dataset rows =
   Printf.printf
     "\n## Figure 5 (%s): elapsed time per query and number of RTFs\n"
     dataset;
-  Printf.printf "%-8s %12s %12s %8s\n" "query" "MaxMatch(ms)" "ValidRTF(ms)"
-    "RTFs";
+  Printf.printf "%-8s %12s %12s %12s %12s %8s\n" "query" "MaxMatch(ms)"
+    "ValidRTF(ms)" "VRTF-p95" "VRTF-p99" "RTFs";
   List.iter
     (fun (r : Runner.row) ->
-      Printf.printf "%-8s %12.3f %12.3f %8d\n" r.mnemonic r.maxmatch_ms
-        r.validrtf_ms r.rtf_count)
+      Printf.printf "%-8s %12.3f %12.3f %12.3f %12.3f %8d\n" r.mnemonic
+        r.maxmatch.Runner.mean_ms r.validrtf.Runner.mean_ms
+        r.validrtf.Runner.p95_ms r.validrtf.Runner.p99_ms r.rtf_count)
     rows
 
 (* --- Figure 6: CFR / APR' / Max APR --- *)
@@ -67,12 +68,20 @@ let write_csv name header rows_to_strings =
 
 let csv_fig5 dataset rows =
   write_csv ("fig5-" ^ dataset)
-    [ "query"; "maxmatch_ms"; "validrtf_ms"; "rtfs" ]
+    [
+      "query"; "maxmatch_ms"; "maxmatch_p95_ms"; "validrtf_ms";
+      "validrtf_p95_ms"; "validrtf_p99_ms"; "rtfs";
+    ]
     (List.map
        (fun (r : Runner.row) ->
          [
-           r.mnemonic; Printf.sprintf "%.4f" r.maxmatch_ms;
-           Printf.sprintf "%.4f" r.validrtf_ms; string_of_int r.rtf_count;
+           r.mnemonic;
+           Printf.sprintf "%.4f" r.maxmatch.Runner.mean_ms;
+           Printf.sprintf "%.4f" r.maxmatch.Runner.p95_ms;
+           Printf.sprintf "%.4f" r.validrtf.Runner.mean_ms;
+           Printf.sprintf "%.4f" r.validrtf.Runner.p95_ms;
+           Printf.sprintf "%.4f" r.validrtf.Runner.p99_ms;
+           string_of_int r.rtf_count;
          ])
        rows)
 
@@ -234,8 +243,8 @@ let random_workload () =
     (fun keywords ->
       let r = Runner.run_query engine (String.concat " " keywords, keywords) in
       Printf.printf "%-34s %12.3f %12.3f %6d %6.2f %6.2f %6.2f\n" r.mnemonic
-        r.maxmatch_ms r.validrtf_ms r.rtf_count r.metrics.Metrics.cfr
-        r.metrics.Metrics.apr' r.metrics.Metrics.max_apr)
+        r.maxmatch.Runner.mean_ms r.validrtf.Runner.mean_ms r.rtf_count
+        r.metrics.Metrics.cfr r.metrics.Metrics.apr' r.metrics.Metrics.max_apr)
     queries
 
 (* --- Bechamel suite: one Test.make per figure panel --- *)
@@ -393,6 +402,42 @@ let bechamel_cmd =
     (Cmd.info "bechamel" ~doc:"Bechamel micro-benchmark suite.")
     Term.(const (fun () -> bechamel_suite ()) $ scale_args)
 
+let throughput_cmd =
+  let jobs =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "jobs" ] ~docv:"N,.."
+          ~doc:"Worker counts to sweep (1 = sequential uncached baseline).")
+  in
+  let queries =
+    Arg.(
+      value & opt int 400
+      & info [ "queries" ] ~docv:"N" ~doc:"Total queries per row.")
+  in
+  let distinct =
+    Arg.(
+      value & opt int 40
+      & info [ "distinct" ] ~docv:"N"
+          ~doc:"Distinct queries behind the zipf-repeat workload.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 32
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Result-cache size for the jobs > 1 rows.")
+  in
+  let run () jobs queries distinct cache_mb =
+    Xks_bench.Throughput.run ~jobs_list:jobs ~queries ~distinct ~cache_mb ()
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:
+         "Batch-execution throughput sweep (BENCH_throughput.json): the \
+          same zipf-repeat workload through the sequential path and \
+          through Exec.search_batch at each worker count.")
+    Term.(const run $ scale_args $ jobs $ queries $ distinct $ cache_mb)
+
 let run_all () =
   List.iter
     (fun (d : Datasets.t) ->
@@ -409,6 +454,7 @@ let run_all () =
   ablation_slca ();
   ablation_gdmct ();
   random_workload ();
+  Xks_bench.Throughput.run ();
   bechamel_suite ()
 
 let all_cmd =
@@ -427,5 +473,5 @@ let () =
           [
             fig5_cmd; fig6_cmd; ablation_cid_cmd; ablation_lca_cmd;
             ablation_slca_cmd; ablation_gdmct_cmd; random_cmd; bechamel_cmd;
-            all_cmd;
+            throughput_cmd; all_cmd;
           ]))

@@ -14,27 +14,52 @@ let time_ms f =
   let t1 = now_ns () in
   (Int64.to_float (Int64.sub t1 t0) /. 1e6, result)
 
-(* Average elapsed ms over [reps] runs after a discarded warm-up; with a
-   single rep there is nothing to discard, so the one timed run is the
-   answer (dividing by [reps - 1 = 0] would return NaN). *)
-let measure ?(reps = 6) f =
+type dist = {
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+(* Nearest-rank percentile over an ascending sample array. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (Float.ceil (q /. 100.0 *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* Elapsed-ms distribution over [reps] runs after a discarded warm-up;
+   with a single rep there is nothing to discard, so the one timed run
+   is the whole sample. *)
+let measure_dist ?(reps = 6) f =
   if reps < 1 then invalid_arg "Runner.measure: reps must be >= 1";
   let warmup_ms, first = time_ms f in
-  if reps = 1 then (warmup_ms, first)
-  else begin
-    let total = ref 0.0 in
-    for _ = 2 to reps do
-      let ms, _ = time_ms f in
-      total := !total +. ms
-    done;
-    (!total /. float_of_int (reps - 1), first)
-  end
+  let samples =
+    if reps = 1 then [| warmup_ms |]
+    else Array.init (reps - 1) (fun _ -> fst (time_ms f))
+  in
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let mean_ms =
+    Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+  in
+  ( {
+      mean_ms;
+      p50_ms = percentile sorted 50.0;
+      p95_ms = percentile sorted 95.0;
+      p99_ms = percentile sorted 99.0;
+    },
+    first )
+
+(* Average elapsed ms over the same discard-the-warm-up protocol. *)
+let measure ?reps f =
+  let d, first = measure_dist ?reps f in
+  (d.mean_ms, first)
 
 type row = {
   mnemonic : string;
   keywords : string list;
-  maxmatch_ms : float;
-  validrtf_ms : float;
+  maxmatch : dist;
+  validrtf : dist;
   rtf_count : int;
   metrics : Xks_metrics.Metrics.t;
   counters : (string * int) list;
@@ -54,16 +79,18 @@ let counters_for engine keywords =
 
 let run_query engine (mnemonic, keywords) =
   let q = Query.make (Engine.index engine) keywords in
-  let validrtf_ms, validrtf = measure (fun () -> Xks_core.Validrtf.run_query q) in
-  let maxmatch_ms, maxmatch =
-    measure (fun () -> Xks_core.Maxmatch.run_revised_query q)
+  let validrtf_d, validrtf =
+    measure_dist (fun () -> Xks_core.Validrtf.run_query q)
+  in
+  let maxmatch_d, maxmatch =
+    measure_dist (fun () -> Xks_core.Maxmatch.run_revised_query q)
   in
   let metrics = Xks_metrics.Metrics.compare_results ~validrtf ~maxmatch in
   {
     mnemonic;
     keywords;
-    maxmatch_ms;
-    validrtf_ms;
+    maxmatch = maxmatch_d;
+    validrtf = validrtf_d;
     rtf_count = List.length validrtf.Xks_core.Pipeline.lcas;
     metrics;
     counters = counters_for engine keywords;

@@ -1,0 +1,118 @@
+(* Throughput sweep for the batch execution layer (lib/exec).
+
+   Workload: [distinct] generated DBLP queries expanded to [queries]
+   submissions under a Zipf(1.1) popularity law — a keyword-search
+   service sees repeated queries, which is exactly what the result
+   cache exploits.  The jobs = 1 row is the pre-existing sequential
+   path (one Engine.search per query, no pool, no cache): the baseline
+   a single-query caller gets.  Rows with jobs > 1 push the same
+   workload through Exec.search_batch over a pool of [jobs] worker
+   domains fronted by a fresh [cache_mb] MB cache — cold at the start
+   of each row, so every hit comes from repeats inside the workload.
+
+   On a single-core host the extra domains buy no parallelism, so the
+   speedup column isolates what the sharded cache earns on a
+   repeat-heavy workload; on a multi-core host both effects stack.
+   EXPERIMENTS.md spells out the methodology. *)
+
+module Engine = Xks_core.Engine
+module Exec = Xks_exec.Exec
+module Cache = Xks_exec.Cache
+module Pool = Xks_exec.Pool
+
+(* [queries] draws from [pool_queries] under Zipf(1.1), deterministic in
+   [seed]. *)
+let zipf_workload ~seed ~queries pool_queries =
+  let n = Array.length pool_queries in
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** 1.1));
+    cumulative.(i) <- !total
+  done;
+  let rng = Random.State.make [| seed; queries; n |] in
+  let sample () =
+    let u = Random.State.float rng !total in
+    let rec find i = if i >= n - 1 || cumulative.(i) > u then i else find (i + 1) in
+    pool_queries.(find 0)
+  in
+  let rec build k acc = if k = 0 then List.rev acc else build (k - 1) (sample () :: acc) in
+  build queries []
+
+let run ?(jobs_list = [ 1; 2; 4; 8 ]) ?(queries = 400) ?(distinct = 40)
+    ?(cache_mb = 32) () =
+  let dataset = Datasets.find "dblp" in
+  let engine = Runner.load dataset in
+  let pool_queries =
+    Array.of_list
+      (Xks_datagen.Workload_gen.generate ~seed:77 ~count:distinct
+         (Engine.index engine))
+  in
+  let workload = zipf_workload ~seed:4242 ~queries pool_queries in
+  (* Warm the engine once, untimed: first touches of postings and the
+     minor heap should not be charged to whichever row runs first. *)
+  Array.iter
+    (fun ws -> ignore (Engine.search engine ws : Engine.hit list))
+    pool_queries;
+  let time_row jobs =
+    if jobs = 1 then
+      let elapsed_ms, () =
+        Runner.time_ms (fun () ->
+            List.iter
+              (fun ws -> ignore (Engine.search engine ws : Engine.hit list))
+              workload)
+      in
+      {
+        Bench_json.jobs;
+        elapsed_ms;
+        qps = float_of_int queries /. (elapsed_ms /. 1000.0);
+        speedup = 1.0;
+        cache_hits = 0;
+        cache_misses = 0;
+        cache_evictions = 0;
+      }
+    else
+      let cache = Cache.create ~max_bytes:(cache_mb * 1024 * 1024) () in
+      Pool.with_pool ~size:jobs (fun pool ->
+          let elapsed_ms, _ =
+            Runner.time_ms (fun () ->
+                Exec.search_batch ~pool ~cache engine workload)
+          in
+          let s = Cache.stats cache in
+          {
+            Bench_json.jobs;
+            elapsed_ms;
+            qps = float_of_int queries /. (elapsed_ms /. 1000.0);
+            speedup = 1.0;
+            cache_hits = s.Cache.hits;
+            cache_misses = s.Cache.misses;
+            cache_evictions = s.Cache.evictions;
+          })
+  in
+  let rows = List.map time_row jobs_list in
+  let base_qps =
+    match List.find_opt (fun r -> r.Bench_json.jobs = 1) rows with
+    | Some r -> r.Bench_json.qps
+    | None -> (
+        match rows with
+        | r :: _ -> r.Bench_json.qps
+        | [] -> invalid_arg "Throughput.run: empty jobs list")
+  in
+  let rows =
+    List.map
+      (fun r -> { r with Bench_json.speedup = r.Bench_json.qps /. base_qps })
+      rows
+  in
+  Printf.printf
+    "\n## Throughput (%s): %d queries, %d distinct, zipf repeats, cache %d MB\n"
+    dataset.Datasets.name queries distinct cache_mb;
+  Printf.printf "%6s %12s %10s %8s %10s %10s %10s\n" "jobs" "elapsed(ms)"
+    "qps" "speedup" "hits" "misses" "evicted";
+  List.iter
+    (fun (r : Bench_json.throughput_row) ->
+      Printf.printf "%6d %12.1f %10.1f %7.2fx %10d %10d %10d\n" r.jobs
+        r.elapsed_ms r.qps r.speedup r.cache_hits r.cache_misses
+        r.cache_evictions)
+    rows;
+  Bench_json.record_throughput ~dataset:dataset.Datasets.name ~queries
+    ~distinct ~cache_mb rows

@@ -84,12 +84,36 @@ let algorithm_conv =
       ("maxmatch-original", Xks_core.Engine.Maxmatch_original);
     ]
 
+(* One query per line; '#' lines and blank lines are skipped. *)
+let read_batch_file path =
+  let ic =
+    try open_in path with Sys_error msg -> die Cmd.Exit.cli_error ("xks: " ^ msg)
+  in
+  let queries = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          if line <> "" && line.[0] <> '#' then
+            match
+              String.split_on_char ' ' line
+              |> List.filter (fun w -> w <> "")
+            with
+            | [] -> ()
+            | ws -> queries := ws :: !queries
+        done
+      with End_of_file -> ());
+  List.rev !queries
+
 let search_cmd =
   let keywords =
     Arg.(
-      non_empty
+      value
       & pos_right 0 string []
-      & info [] ~docv:"KEYWORD" ~doc:"Query keywords.")
+      & info [] ~docv:"KEYWORD"
+          ~doc:"Query keywords (omit when $(b,--batch) is given).")
   in
   let algorithm =
     Arg.(
@@ -167,8 +191,37 @@ let search_cmd =
             "Write the query trace (stage spans, counters, degradation \
              events) to $(docv) as JSON.")
   in
+  let batch_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "Run every query in $(docv) (one query per line, keywords \
+             separated by spaces; blank lines and $(b,#) comments are \
+             skipped) instead of a single positional query.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "With $(b,--batch): fan the queries out over $(docv) worker \
+             domains (1 = sequential on the calling domain).")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "With $(b,--batch): front the queries with a sharded LRU \
+             result cache of roughly $(docv) MB (0, the default, disables \
+             caching).  Repeated queries in the batch are answered from \
+             the cache.")
+  in
   let run file ws algorithm xml_out exact_cid limit snippets explain timeout_ms
-      max_nodes index_path repair stats_flag trace_json =
+      max_nodes index_path repair stats_flag trace_json batch_file jobs
+      cache_mb =
     let engine =
       match index_path with
       | Some idx_path -> engine_of_index ~repair idx_path file
@@ -180,6 +233,9 @@ let search_cmd =
     | _, Some n when n < 0 ->
         die Cmd.Exit.cli_error "xks: --max-nodes must be non-negative"
     | _ -> ());
+    if jobs < 1 then die Cmd.Exit.cli_error "xks: --jobs must be >= 1";
+    if cache_mb < 0 then
+      die Cmd.Exit.cli_error "xks: --cache-mb must be non-negative";
     let budget =
       if timeout_ms = None && max_nodes = None then None
       else
@@ -190,6 +246,77 @@ let search_cmd =
     let cid_mode =
       if exact_cid then Xks_index.Cid.Exact else Xks_index.Cid.Approx
     in
+    match batch_file with
+    | Some path ->
+        if ws <> [] then
+          die Cmd.Exit.cli_error
+            "xks: --batch and positional keywords are mutually exclusive";
+        let queries = read_batch_file path in
+        if queries = [] then
+          die Cmd.Exit.cli_error ("xks: no queries in " ^ path);
+        let cache =
+          if cache_mb > 0 then
+            Some
+              (Xks_exec.Cache.create ~max_bytes:(cache_mb * 1024 * 1024) ())
+          else None
+        in
+        let budget_spec =
+          if timeout_ms = None && max_nodes = None then None
+          else Some { Xks_exec.Exec.deadline_ms = timeout_ms; max_nodes }
+        in
+        let trace =
+          if stats_flag then Some (Xks_trace.Trace.create ()) else None
+        in
+        Xks_trace.Trace.set_current trace;
+        let results =
+          try
+            if jobs > 1 then
+              Xks_exec.Pool.with_pool ~size:jobs (fun pool ->
+                  Xks_exec.Exec.search_batch_results ~pool ?cache ~algorithm
+                    ~cid_mode ?budget:budget_spec engine queries)
+            else
+              Xks_exec.Exec.search_batch_results ?cache ~algorithm ~cid_mode
+                ?budget:budget_spec engine queries
+          with Xks_exec.Pool.Task_error e -> raise e
+        in
+        Xks_trace.Trace.set_current None;
+        List.iteri
+          (fun qi ws ->
+            let result = results.(qi) in
+            let hits = result.Xks_core.Engine.hits in
+            Printf.printf "%d result(s) for \"%s\"\n" (List.length hits)
+              (String.concat " " ws);
+            (match result.Xks_core.Engine.degraded with
+            | Some reason ->
+                Printf.printf "   (degraded: %s)\n"
+                  (Xks_robust.Budget.reason_to_string reason)
+            | None -> ());
+            List.iteri
+              (fun i (hit : Xks_core.Engine.hit) ->
+                if i < limit then begin
+                  Printf.printf "-- #%d score %.2f %s\n" (i + 1)
+                    hit.Xks_core.Engine.score
+                    (if hit.Xks_core.Engine.is_slca then "(slca)" else "(lca)");
+                  print_string (Xks_core.Engine.render ~xml:xml_out engine hit)
+                end)
+              hits)
+          queries;
+        (match cache with
+        | Some c when stats_flag ->
+            let s = Xks_exec.Cache.stats c in
+            Printf.eprintf
+              "cache: %d hit(s), %d miss(es), %d eviction(s), %d live \
+               entry(ies) (~%d bytes)\n"
+              s.Xks_exec.Cache.hits s.Xks_exec.Cache.misses
+              s.Xks_exec.Cache.evictions s.Xks_exec.Cache.entries
+              s.Xks_exec.Cache.bytes
+        | _ -> ());
+        (match trace with
+        | Some t when stats_flag -> prerr_string (Xks_trace.Trace.summary t)
+        | _ -> ())
+    | None ->
+    if ws = [] then
+      die Cmd.Exit.cli_error "xks: expected keywords or --batch FILE";
     let trace =
       if stats_flag || trace_json <> None then
         Some (Xks_trace.Trace.create ())
@@ -296,7 +423,7 @@ let search_cmd =
     Term.(
       const run $ file_arg $ keywords $ algorithm $ xml_out $ exact_cid $ limit
       $ snippets $ explain $ timeout_ms $ max_nodes $ index_path $ repair
-      $ stats_flag $ trace_json)
+      $ stats_flag $ trace_json $ batch_file $ jobs $ cache_mb)
 
 (* --- stats --- *)
 

@@ -2,8 +2,15 @@ module Tree = Xks_xml.Tree
 module Budget = Xks_robust.Budget
 module Trace = Xks_trace.Trace
 
-type t = { doc : Tree.t; index : Xks_index.Inverted.t }
+type t = { id : int; doc : Tree.t; index : Xks_index.Inverted.t }
 type algorithm = Validrtf | Maxmatch | Maxmatch_original
+
+(* Engine identity for result caches ([Xks_exec.Cache]): every engine —
+   even one adopting a reloaded index via [of_index] — gets a fresh id,
+   so entries cached against a previous engine can never be served for a
+   new one. *)
+(* xkslint: allow module-state *)
+let next_id = Atomic.make 0
 
 type hit = {
   fragment : Fragment.t;
@@ -13,15 +20,27 @@ type hit = {
   degraded : Budget.reason option;
 }
 
-let of_doc doc = { doc; index = Xks_index.Inverted.build doc }
-let of_index index = { doc = Xks_index.Inverted.doc index; index }
+let of_doc doc =
+  { id = Atomic.fetch_and_add next_id 1; doc; index = Xks_index.Inverted.build doc }
+
+let of_index index =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    doc = Xks_index.Inverted.doc index;
+    index;
+  }
+
 let of_file ?limits path = of_doc (Xks_xml.Parser.parse_file ?limits path)
 let of_string ?limits s = of_doc (Xks_xml.Parser.parse_string ?limits s)
+let id e = e.id
 let doc e = e.doc
 let index e = e.index
 
 let run ?(algorithm = Validrtf) ?cid_mode ?budget e ws =
-  let q = Query.make e.index ws in
+  (* Rarest keyword first: the dedup is shared with every caller of
+     [Query.make]; the rarity sort additionally puts the shortest
+     posting list in the driver seat of the stack walks. *)
+  let q = Query.make ~order:`Rarest e.index ws in
   match algorithm with
   | Validrtf -> Validrtf.run_query ?cid_mode ?budget q
   | Maxmatch -> Maxmatch.run_revised_query ?budget q

@@ -52,6 +52,13 @@ val of_string : ?limits:Xks_robust.Limits.t -> string -> t
 val doc : t -> Xks_xml.Tree.t
 val index : t -> Xks_index.Inverted.t
 
+val id : t -> int
+(** A process-unique identity, fresh for every constructed engine
+    (including {!of_index} over a reloaded index).  {!Xks_exec.Cache}
+    keys entries by it so results cached for one engine are never served
+    for another — rebuilding or reloading an index invalidates the old
+    entries by construction. *)
+
 type search_result = {
   hits : hit list;
   degraded : Xks_robust.Budget.reason option;
@@ -73,9 +80,12 @@ val search_result :
 val search :
   ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:bool ->
   ?budget:Xks_robust.Budget.t -> t -> string list -> hit list
-(** [search e ws] runs the query.  Hits are ranked by {!Ranking} when
-    [rank] is [true] (default); otherwise in document order.  The empty
-    hit list means some keyword does not occur.
+(** [search e ws] runs the query.  Keywords are deduplicated and sorted
+    rarest-first (shortest posting list first) before the pipeline runs
+    — duplicates and keyword order never change the result set.  Hits
+    are ranked by {!Ranking} when [rank] is [true] (default); otherwise
+    in document order.  The empty hit list means some keyword does not
+    occur.
 
     With a [budget], the run is governed: when it exhausts mid-pipeline
     the engine falls down the ladder ValidRTF → revised MaxMatch →

@@ -7,7 +7,7 @@ type t = {
   postings : int array array;
 }
 
-let make idx ws =
+let make ?(order = `Given) idx ws =
   let seen = Hashtbl.create 8 in
   let keywords =
     (* Each argument may carry several words ("xml search"); split into
@@ -27,6 +27,28 @@ let make idx ws =
   let keywords = Array.of_list keywords in
   let postings =
     Array.map (fun w -> Xks_index.Inverted.posting idx w) keywords
+  in
+  let keywords, postings =
+    match order with
+    | `Given -> (keywords, postings)
+    | `Rarest ->
+        (* Shortest posting list first (ties keep query order, so the
+           permutation is deterministic).  The stack-based ELCA/SLCA
+           walks drive off the smallest list and probe the others, so a
+           rarity-sorted query puts the driver at index 0 and the most
+           selective probes first.  The keyword {e set} is unchanged —
+           every LCA semantics is order-invariant. *)
+        let order = Array.init (Array.length keywords) Fun.id in
+        Array.sort
+          (fun i j ->
+            let c =
+              Int.compare (Array.length postings.(i))
+                (Array.length postings.(j))
+            in
+            if c <> 0 then c else Int.compare i j)
+          order;
+        ( Array.map (fun i -> keywords.(i)) order,
+          Array.map (fun i -> postings.(i)) order )
   in
   { doc = Xks_index.Inverted.doc idx; keywords; postings }
 

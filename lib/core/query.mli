@@ -11,10 +11,19 @@ type t = private {
   postings : int array array;  (** one sorted id array per keyword *)
 }
 
-val make : Xks_index.Inverted.t -> string list -> t
+val make :
+  ?order:[ `Given | `Rarest ] -> Xks_index.Inverted.t -> string list -> t
 (** [make idx ws] prepares the query [ws] against [idx].  Every input
     string is tokenised (so ["xml search"] contributes two keywords) and
     duplicates are dropped, keeping first occurrences.
+
+    [order] selects the keyword order of the prepared query: [`Given]
+    (default) keeps first-occurrence order; [`Rarest] sorts keywords by
+    ascending posting-list length (ties keep query order), which puts
+    the stack algorithms' driver list at index 0 and the most selective
+    probes first — {!Xks_core.Engine} uses it.  The keyword {e set}, and
+    therefore every LCA/RTF result, is identical under both orders; only
+    keyword {e positions} (bit indices, {!keyword_index}) differ.
     @raise Invalid_argument if no keyword remains after tokenisation and
     deduplication, or if there are more than {!Xks_index.Klist.max_keywords}
     distinct keywords. *)

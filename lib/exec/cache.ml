@@ -1,0 +1,223 @@
+(* Sharded LRU cache of whole query results.
+
+   The key identifies everything that determines a search answer: the
+   engine instance (by its process-unique id — a rebuilt or reloaded
+   index makes a new engine, so stale entries can never be served), the
+   normalised keyword *set* (sorted, deduplicated — Engine.search is
+   order- and duplicate-invariant), the algorithm, and a budget class
+   (two queries governed by the same limits share an entry; an
+   unbudgeted query never shares with a budgeted one).
+
+   Concurrency: N independently mutex-guarded shards, so concurrent
+   lookups from pool workers contend only when they hash to the same
+   shard.  Capacity is split evenly across shards and accounted in
+   approximate bytes; eviction is strict LRU per shard. *)
+
+module Engine = Xks_core.Engine
+module Fragment = Xks_core.Fragment
+module Trace = Xks_trace.Trace
+
+type key = {
+  engine_id : int;
+  words : string list;  (* normalised, sorted, distinct *)
+  algorithm : string;
+  budget_class : string;
+}
+
+let algorithm_name = function
+  | Engine.Validrtf -> "validrtf"
+  | Engine.Maxmatch -> "maxmatch"
+  | Engine.Maxmatch_original -> "maxmatch_original"
+
+let unbudgeted = "unbudgeted"
+
+let key ~engine ~algorithm ~budget_class ws =
+  let words =
+    List.concat_map
+      (Xks_xml.Tokenizer.words ~keep_stopwords:true)
+      ws
+    |> List.sort_uniq String.compare
+  in
+  match words with
+  | [] -> None
+  | _ :: _ ->
+      Some
+        {
+          engine_id = Engine.id engine;
+          words;
+          algorithm = algorithm_name algorithm;
+          budget_class;
+        }
+
+(* Doubly-linked LRU list, newest at the front. *)
+type node = {
+  nkey : key;
+  value : Engine.search_result;
+  cost : int;
+  mutable newer : node option;
+  mutable older : node option;
+}
+
+type shard = {
+  mutex : Mutex.t;
+  table : (key, node) Hashtbl.t;
+  mutable newest : node option;
+  mutable oldest : node option;
+  mutable bytes : int;
+  capacity : int;
+}
+
+type t = {
+  shards : shard array;
+  mask : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let rec power_of_two n acc = if acc >= n then acc else power_of_two n (acc * 2)
+
+let create ?(shards = 8) ~max_bytes () =
+  if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
+  if max_bytes < 0 then invalid_arg "Cache.create: negative capacity";
+  let n = power_of_two shards 1 in
+  let capacity = max_bytes / n in
+  {
+    shards =
+      Array.init n (fun _ ->
+          {
+            mutex = Mutex.create ();
+            table = Hashtbl.create 64;
+            newest = None;
+            oldest = None;
+            bytes = 0;
+            capacity;
+          });
+    mask = n - 1;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let shard_count t = Array.length t.shards
+let shard_of t k = t.shards.(Hashtbl.hash k land t.mask)
+
+(* Approximate heap footprint of a cached result, in bytes: per-hit
+   record overhead plus the fragment's node set.  Only relative sizes
+   matter — the knob is --cache-mb, not an exact accounting. *)
+let cost_of (r : Engine.search_result) =
+  List.fold_left
+    (fun acc (h : Engine.hit) -> acc + 160 + (24 * Fragment.size h.fragment))
+    128 r.hits
+
+(* Shard-internal list surgery; caller holds the shard mutex. *)
+
+let unlink s n =
+  (match n.newer with
+  | Some nw -> nw.older <- n.older
+  | None -> s.newest <- n.older);
+  (match n.older with
+  | Some ol -> ol.newer <- n.newer
+  | None -> s.oldest <- n.newer);
+  n.newer <- None;
+  n.older <- None
+
+let push_front s n =
+  n.older <- s.newest;
+  n.newer <- None;
+  (match s.newest with
+  | Some old_front -> old_front.newer <- Some n
+  | None -> s.oldest <- Some n);
+  s.newest <- Some n
+
+let locked s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+let find t k =
+  let s = shard_of t k in
+  let result =
+    locked s (fun () ->
+        match Hashtbl.find_opt s.table k with
+        | None -> None
+        | Some n ->
+            unlink s n;
+            push_front s n;
+            Some n.value)
+  in
+  (match result with
+  | Some _ ->
+      Atomic.incr t.hits;
+      Trace.incr Trace.Cache_hits
+  | None ->
+      Atomic.incr t.misses;
+      Trace.incr Trace.Cache_misses);
+  result
+
+let add t k value =
+  let s = shard_of t k in
+  let cost = cost_of value in
+  if cost <= s.capacity then begin
+    let evicted =
+      locked s (fun () ->
+          (match Hashtbl.find_opt s.table k with
+          | Some old ->
+              unlink s old;
+              Hashtbl.remove s.table k;
+              s.bytes <- s.bytes - old.cost
+          | None -> ());
+          let n = { nkey = k; value; cost; newer = None; older = None } in
+          Hashtbl.replace s.table k n;
+          push_front s n;
+          s.bytes <- s.bytes + cost;
+          let evicted = ref 0 in
+          while s.bytes > s.capacity do
+            match s.oldest with
+            | None -> assert false (* bytes > 0 ⇒ a node exists *)
+            | Some victim ->
+                unlink s victim;
+                Hashtbl.remove s.table victim.nkey;
+                s.bytes <- s.bytes - victim.cost;
+                incr evicted
+          done;
+          !evicted)
+    in
+    if evicted > 0 then begin
+      ignore (Atomic.fetch_and_add t.evictions evicted : int);
+      Trace.add Trace.Cache_evictions evicted
+    end
+  end
+
+let clear t =
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.reset s.table;
+          s.newest <- None;
+          s.oldest <- None;
+          s.bytes <- 0))
+    t.shards
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+let stats t =
+  let entries = ref 0 and bytes = ref 0 in
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          entries := !entries + Hashtbl.length s.table;
+          bytes := !bytes + s.bytes))
+    t.shards;
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    entries = !entries;
+    bytes = !bytes;
+  }

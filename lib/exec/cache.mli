@@ -1,0 +1,69 @@
+(** Sharded LRU cache of whole query results.
+
+    Keys capture everything that determines a search answer: the engine
+    {e instance} ({!Xks_core.Engine.id} — a rebuilt or reloaded index
+    makes a new engine, so entries cached for the old one can never be
+    served), the normalised keyword set (sorted and deduplicated, since
+    {!Xks_core.Engine.search} is order- and duplicate-invariant), the
+    algorithm, and a budget class string.  Values are whole
+    {!Xks_core.Engine.search_result}s, shared structurally — they are
+    immutable.
+
+    The table is split into N independently mutex-guarded shards (no
+    global lock): concurrent pool workers contend only when their keys
+    hash to the same shard.  Capacity is approximate bytes, split evenly
+    across shards; eviction is strict per-shard LRU.  Every lookup and
+    eviction ticks the {!Xks_trace.Trace} cache counters as well as the
+    cache's own {!stats}. *)
+
+type key = private {
+  engine_id : int;
+  words : string list;  (** normalised, sorted, distinct *)
+  algorithm : string;
+  budget_class : string;
+}
+
+val unbudgeted : string
+(** The budget class of an ungoverned query ("unbudgeted"). *)
+
+val key :
+  engine:Xks_core.Engine.t -> algorithm:Xks_core.Engine.algorithm ->
+  budget_class:string -> string list -> key option
+(** Normalise a raw query into its cache key: tokenise every input
+    string ({!Xks_xml.Tokenizer.words}, stop words kept — mirroring
+    {!Xks_core.Query.make}), deduplicate and sort.  [None] when no
+    keyword survives (such a query raises in the engine and must not be
+    cached). *)
+
+type t
+
+val create : ?shards:int -> max_bytes:int -> unit -> t
+(** A cache of at most ~[max_bytes] (approximate accounting) split over
+    [shards] (default 8, rounded up to a power of two) independent
+    shards.
+    @raise Invalid_argument on [shards < 1] or negative [max_bytes]. *)
+
+val shard_count : t -> int
+
+val find : t -> key -> Xks_core.Engine.search_result option
+(** Lookup; a hit refreshes the entry's LRU position.  Ticks
+    {!Xks_trace.Trace.Cache_hits} / [Cache_misses]. *)
+
+val add : t -> key -> Xks_core.Engine.search_result -> unit
+(** Insert (or refresh) an entry, evicting least-recently-used entries
+    of the same shard while over capacity.  A result costlier than a
+    whole shard is not cached at all. *)
+
+val clear : t -> unit
+(** Drop every entry (stat counters are kept). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** live entries across all shards *)
+  bytes : int;  (** approximate live bytes across all shards *)
+}
+
+val stats : t -> stats
+(** Cumulative hit/miss/eviction counts and a live-size snapshot. *)

@@ -1,0 +1,126 @@
+(* A fixed-size Domain worker pool with a mutex/condvar work queue.
+
+   Workers block on [wake] while the queue is empty; [submit] enqueues a
+   closure and signals.  Shutdown is graceful: workers drain whatever is
+   already queued, then exit.  The pool carries no knowledge of queries
+   — [Exec] builds the batch semantics on top of [run_all]. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* new work or shutdown *)
+  work : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;  (* [] after [shutdown] *)
+}
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+
+let worker p () =
+  let rec next () =
+    match Queue.take_opt p.work with
+    | Some job -> Some job
+    | None ->
+        if p.stop then None
+        else begin
+          Condition.wait p.wake p.mutex;
+          next ()
+        end
+  in
+  let rec loop () =
+    Mutex.lock p.mutex;
+    let job = next () in
+    Mutex.unlock p.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        job ();
+        loop ()
+  in
+  loop ()
+
+let create ?size () =
+  let size =
+    match size with
+    | None -> default_size ()
+    | Some s when s >= 1 -> s
+    | Some _ -> invalid_arg "Pool.create: size must be >= 1"
+  in
+  let p =
+    {
+      size;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      work = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  p.workers <- List.init size (fun _ -> Domain.spawn (worker p));
+  p
+
+let size p = p.size
+
+let submit p job =
+  Mutex.lock p.mutex;
+  if p.stop then begin
+    Mutex.unlock p.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add job p.work;
+  Condition.signal p.wake;
+  Mutex.unlock p.mutex
+
+exception Task_error of exn
+
+let run_all p thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  let results = Array.make n None in
+  let remaining = Atomic.make n in
+  let done_mutex = Mutex.create () in
+  let done_cond = Condition.create () in
+  Array.iteri
+    (fun i f ->
+      submit p (fun () ->
+          let r =
+            match f () with
+            | v -> Ok v
+            | exception e -> Error e
+          in
+          (* Publish the slot before the count: the waiter only reads
+             [results] after [remaining] reaches zero, and the atomic
+             decrement orders the two writes. *)
+          results.(i) <- Some r;
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock done_mutex;
+            Condition.broadcast done_cond;
+            Mutex.unlock done_mutex
+          end))
+    thunks;
+  Mutex.lock done_mutex;
+  while Atomic.get remaining > 0 do
+    Condition.wait done_cond done_mutex
+  done;
+  Mutex.unlock done_mutex;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise (Task_error e)
+      | None -> assert false (* remaining = 0 ⇒ every slot was written *))
+    results
+
+let shutdown p =
+  Mutex.lock p.mutex;
+  let already = p.stop in
+  p.stop <- true;
+  Condition.broadcast p.wake;
+  Mutex.unlock p.mutex;
+  if not already then begin
+    List.iter Domain.join p.workers;
+    p.workers <- []
+  end
+
+let with_pool ?size f =
+  let p = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)

@@ -1,0 +1,46 @@
+(** A fixed-size pool of worker {!Domain}s fed by a mutex/condvar work
+    queue.
+
+    One pool amortises domain spawn cost over many batches: workers park
+    on a condition variable between jobs, so an idle pool costs nothing
+    but the parked domains.  The pool schedules opaque closures —
+    {!Exec.search_batch} layers the query semantics on top. *)
+
+type t
+
+val default_size : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)] — one worker per
+    available core, leaving a core for the submitting domain. *)
+
+val create : ?size:int -> unit -> t
+(** Spawn a pool of [size] (default {!default_size}) worker domains.
+    @raise Invalid_argument when [size < 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one fire-and-forget job.  Jobs run in FIFO submission order
+    (across however many workers are free) and must not raise — an
+    escaping exception kills its worker.  Prefer {!run_all}, which
+    captures results and exceptions.
+    @raise Invalid_argument on a pool that was {!shutdown}. *)
+
+exception Task_error of exn
+(** Wraps the first exception a {!run_all} task raised. *)
+
+val run_all : t -> (unit -> 'a) list -> 'a array
+(** Run every thunk on the pool and wait for all of them; result [i] is
+    thunk [i]'s value (input order, regardless of completion order).
+    When a thunk raised, the whole batch still runs to completion and
+    the first failure (in input order) is re-raised as {!Task_error}.
+    Must not be called from a pool worker of the same pool — the nested
+    batch could wait on jobs queued behind its own caller. *)
+
+val shutdown : t -> unit
+(** Drain already-queued jobs, then join every worker.  Idempotent;
+    subsequent {!submit}/{!run_all} calls are rejected. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down on exit
+    (also on exception). *)

@@ -3,13 +3,25 @@ module Tokenizer = Xks_xml.Tokenizer
 
 type entry = { ids : Xks_util.Int_vec.t; mutable occurrences : int }
 
+(* Immutable once constructed: [build]/[of_rows] freeze the growable
+   posting vectors into plain arrays before returning, so a [t] can be
+   shared read-only across domains (the [Xks_exec] pool relies on this —
+   no lock guards the index on the query path).  [entry.occurrences] is
+   only written while [build] runs. *)
 type t = {
   doc : Tree.t;
   entries : (string, entry) Hashtbl.t;
-  mutable frozen : (string, int array) Hashtbl.t option;
+  frozen : (string, int array) Hashtbl.t;
 }
 
 let empty_posting = [||]
+
+let freeze entries =
+  let f = Hashtbl.create (Hashtbl.length entries) in
+  Hashtbl.iter
+    (fun w e -> Hashtbl.add f w (Xks_util.Int_vec.to_array e.ids))
+    entries;
+  f
 
 let build doc =
   let entries = Hashtbl.create 4096 in
@@ -40,23 +52,12 @@ let build doc =
       n.attrs
   in
   Tree.iter index_node doc;
-  { doc; entries; frozen = None }
+  { doc; entries; frozen = freeze entries }
 
 let doc t = t.doc
 
-let frozen t =
-  match t.frozen with
-  | Some f -> f
-  | None ->
-      let f = Hashtbl.create (Hashtbl.length t.entries) in
-      Hashtbl.iter
-        (fun w e -> Hashtbl.add f w (Xks_util.Int_vec.to_array e.ids))
-        t.entries;
-      t.frozen <- Some f;
-      f
-
 let posting t w =
-  match Hashtbl.find_opt (frozen t) (Tokenizer.normalize w) with
+  match Hashtbl.find_opt t.frozen (Tokenizer.normalize w) with
   | Some a ->
       Xks_trace.Trace.add Xks_trace.Trace.Postings_scanned (Array.length a);
       a
@@ -77,11 +78,12 @@ let vocabulary t =
 let vocabulary_size t = Hashtbl.length t.entries
 
 let to_rows t =
-  let f = frozen t in
   Hashtbl.fold
     (fun w e acc ->
       let posting =
-        match Hashtbl.find_opt f w with Some p -> p | None -> assert false
+        match Hashtbl.find_opt t.frozen w with
+        | Some p -> p
+        | None -> assert false
       in
       (w, e.occurrences, posting) :: acc)
     t.entries []
@@ -106,7 +108,7 @@ let of_rows doc rows =
       Hashtbl.replace entries w { ids; occurrences };
       Hashtbl.replace frozen w posting)
     rows;
-  { doc; entries; frozen = Some frozen }
+  { doc; entries; frozen }
 
 let top_words t n =
   let all =

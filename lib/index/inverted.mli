@@ -6,7 +6,15 @@
     preorder ranks, so each posting list is in document (Dewey) order.
 
     This plays the role of the paper's PostgreSQL [value] table lookup:
-    given a query, it returns the Dewey-ordered keyword-node lists. *)
+    given a query, it returns the Dewey-ordered keyword-node lists.
+
+    A {!t} is {e immutable once built}: {!build} and {!of_rows} freeze
+    every posting into its final array before returning, and no query
+    operation writes to the index.  {!Xks_exec} relies on this to share
+    one index (and its document tree) across all pool domains without
+    copies or locks; the sharing audit in [test/test_index.ml] pins the
+    property (repeated {!posting} calls return the {e same} physical
+    array). *)
 
 type t
 

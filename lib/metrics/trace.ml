@@ -3,9 +3,11 @@
    One global "current trace" slot keeps the disabled fast path to a
    single load-and-branch per instrumentation point — the pipeline's hot
    loops tick counters unconditionally, so when no trace is installed
-   the cost must be negligible.  Counters are atomic because pruning may
-   run on several domains; spans only ever begin/end on the domain that
-   installed the trace. *)
+   the cost must be negligible.  The slot is an [Atomic.t] and the
+   counters are atomic because work may run on several domains (striped
+   pruning, [Xks_exec] batch execution); spans are recorded only on the
+   domain that installed the trace, so the span stack stays
+   single-domain mutable state. *)
 
 type counter =
   | Postings_scanned
@@ -16,6 +18,9 @@ type counter =
   | Frag_nodes_pruned
   | Budget_ticks
   | Degradations
+  | Cache_hits
+  | Cache_misses
+  | Cache_evictions
 
 let counter_index = function
   | Postings_scanned -> 0
@@ -26,13 +31,17 @@ let counter_index = function
   | Frag_nodes_pruned -> 5
   | Budget_ticks -> 6
   | Degradations -> 7
+  | Cache_hits -> 8
+  | Cache_misses -> 9
+  | Cache_evictions -> 10
 
-let n_counters = 8
+let n_counters = 11
 
 let all_counters =
   [
     Postings_scanned; Nodes_visited; Elca_pushed; Elca_popped;
     Frag_nodes_kept; Frag_nodes_pruned; Budget_ticks; Degradations;
+    Cache_hits; Cache_misses; Cache_evictions;
   ]
 
 let counter_name = function
@@ -44,59 +53,84 @@ let counter_name = function
   | Frag_nodes_pruned -> "frag_nodes_pruned"
   | Budget_ticks -> "budget_ticks"
   | Degradations -> "degradations"
+  | Cache_hits -> "cache_hits"
+  | Cache_misses -> "cache_misses"
+  | Cache_evictions -> "cache_evictions"
 
 type span = { label : string; depth : int; seq : int; ms : float }
 
 type t = {
   counters : int Atomic.t array;
+  owner : int Atomic.t;  (* id of the domain that installed the trace *)
+  events : string list Atomic.t;  (* degradation reasons, reverse order *)
   mutable stack : (string * int * float) list;  (* label, seq, start s *)
   mutable closed : span list;  (* reverse completion order *)
-  mutable events : string list;  (* degradation reasons, reverse order *)
   mutable next_seq : int;
 }
+
+let domain_id () = (Domain.self () :> int)
 
 let create () =
   {
     counters = Array.init n_counters (fun _ -> Atomic.make 0);
+    owner = Atomic.make (domain_id ());
+    events = Atomic.make [];
     stack = [];
     closed = [];
-    events = [];
     next_seq = 0;
   }
 
-let current : t option ref = ref None
-let set_current o = current := o
-let get_current () = !current
-let enabled () = !current <> None
+let current : t option Atomic.t = Atomic.make None
+
+let set_current o =
+  (match o with Some t -> Atomic.set t.owner (domain_id ()) | None -> ());
+  Atomic.set current o
+
+let get_current () = Atomic.get current
+let enabled () = Atomic.get current <> None
 
 let add c n =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some t -> ignore (Atomic.fetch_and_add t.counters.(counter_index c) n : int)
 
 let incr c = add c 1
 
+let push_event t reason =
+  let rec loop () =
+    let old = Atomic.get t.events in
+    if not (Atomic.compare_and_set t.events old (reason :: old)) then loop ()
+  in
+  loop ()
+
 let degradation reason =
-  match !current with
+  match Atomic.get current with
   | None -> ()
   | Some t ->
-      t.events <- reason :: t.events;
+      push_event t reason;
       ignore
         (Atomic.fetch_and_add t.counters.(counter_index Degradations) 1 : int)
 
 let now = Unix.gettimeofday
 
+(* Spans mutate the trace's stack, which is not synchronised: only the
+   installing domain records them.  Worker domains (striped pruning,
+   batch execution) still tick the atomic counters above. *)
+let owns t = Atomic.get t.owner = domain_id ()
+
 let span_begin label =
-  match !current with
+  match Atomic.get current with
   | None -> ()
+  | Some t when not (owns t) -> ()
   | Some t ->
       let seq = t.next_seq in
       t.next_seq <- seq + 1;
       t.stack <- (label, seq, now ()) :: t.stack
 
 let span_end label =
-  match !current with
+  match Atomic.get current with
   | None -> ()
+  | Some t when not (owns t) -> ()
   | Some t -> (
       match t.stack with
       | (l, seq, t0) :: rest when l = label ->
@@ -112,16 +146,16 @@ let span_end label =
       | _ -> () (* unmatched end: drop rather than corrupt the stack *))
 
 let with_span label f =
-  match !current with
+  match Atomic.get current with
   | None -> f ()
   | Some _ ->
       span_begin label;
       Fun.protect ~finally:(fun () -> span_end label) f
 
 let with_current t f =
-  let saved = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Atomic.get current in
+  set_current (Some t);
+  Fun.protect ~finally:(fun () -> Atomic.set current saved) f
 
 let counter t c = Atomic.get t.counters.(counter_index c)
 let counters t = List.map (fun c -> (counter_name c, counter t c)) all_counters
@@ -129,7 +163,7 @@ let counters t = List.map (fun c -> (counter_name c, counter t c)) all_counters
 let spans t =
   List.sort (fun a b -> Int.compare a.seq b.seq) t.closed
 
-let degradation_events t = List.rev t.events
+let degradation_events t = List.rev (Atomic.get t.events)
 
 let summary t =
   let buf = Buffer.create 256 in

@@ -15,9 +15,15 @@
       prerr_string (Trace.summary t)
     ]}
 
-    Counters are atomic (pruning may stripe over domains); spans must
-    begin and end on the installing domain.  A trace accumulates across
-    queries until replaced — snapshot with {!counter}/{!counters}. *)
+    The layer is domain-aware: the current-trace slot is atomic,
+    counters are atomic (pruning may stripe over domains, and
+    [Xks_exec.Exec.search_batch] runs whole queries on worker domains
+    that tick into the installing domain's trace), and degradation
+    events are pushed with a CAS loop.  Spans, in contrast, are recorded
+    {e only} on the domain that installed the trace — a span call from
+    any other domain is a silent no-op, so the span stack never needs a
+    lock.  A trace accumulates across queries until replaced — snapshot
+    with {!counter}/{!counters}. *)
 
 type counter =
   | Postings_scanned  (** posting-list entries fetched from the index *)
@@ -28,6 +34,9 @@ type counter =
   | Frag_nodes_pruned  (** RTF children discarded by pruning *)
   | Budget_ticks  (** {!Xks_robust.Budget.tick} calls *)
   | Degradations  (** degraded searches (budget exhaustion) *)
+  | Cache_hits  (** {!Xks_exec} result-cache lookups answered *)
+  | Cache_misses  (** result-cache lookups that ran the pipeline *)
+  | Cache_evictions  (** result-cache entries evicted by LRU pressure *)
 
 val all_counters : counter list
 val counter_name : counter -> string
@@ -49,6 +58,7 @@ val create : unit -> t
 
 val set_current : t option -> unit
 (** Install ([Some t]) or remove ([None]) the global current trace.
+    Installing adopts the calling domain as the trace's span owner.
     Prefer {!with_current}, which restores the previous trace. *)
 
 val get_current : unit -> t option
@@ -73,7 +83,8 @@ val span_begin : string -> unit
 val span_end : string -> unit
 (** [span_end label] closes the innermost open span when its label
     matches; a mismatch is dropped silently (an exception may have
-    unwound past the opener).  Prefer {!with_span}. *)
+    unwound past the opener).  Both are no-ops on any domain other than
+    the one that installed the trace.  Prefer {!with_span}. *)
 
 val with_span : string -> (unit -> 'a) -> 'a
 (** Time [f] under a named span, exception-safe.  When disabled this is

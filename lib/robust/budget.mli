@@ -8,7 +8,14 @@
 
     The node counter is checked on every tick; the clock only every
     [check_interval] ticked nodes, so a deadline is honoured to within
-    one check interval of pipeline work. *)
+    one check interval of pipeline work.
+
+    A budget is {e single-domain} state: its counters are plain mutable
+    fields, so a [t] must only ever be ticked by one domain.  Parallel
+    execution layers create one budget per query on the domain that runs
+    it ({!Xks_exec.Exec.search_batch} does exactly this), and
+    {!Xks_core.Pipeline} forces striped pruning back to one domain when
+    a budget is present. *)
 
 type reason =
   | Deadline  (** the wall-clock deadline passed *)

@@ -31,5 +31,6 @@ let () =
       ("ranking", Test_ranking.tests);
       ("extensions", Test_extensions.tests);
       ("check", Test_check.tests);
+      ("exec", Test_exec.tests);
       ("paper_figures", Test_paper_figures.tests);
     ]

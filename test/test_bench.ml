@@ -34,6 +34,40 @@ let test_measure_zero_reps_rejected () =
     (Invalid_argument "Runner.measure: reps must be >= 1") (fun () ->
       ignore (Runner.measure ~reps:0 (fun () -> ())))
 
+let test_percentile_nearest_rank () =
+  let sorted = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 0.0)) "p50 of 4" 2.0 (Runner.percentile sorted 50.0);
+  Alcotest.(check (float 0.0)) "p95 of 4" 4.0 (Runner.percentile sorted 95.0);
+  Alcotest.(check (float 0.0)) "p99 of 4" 4.0 (Runner.percentile sorted 99.0);
+  Alcotest.(check (float 0.0)) "p50 of 1" 7.0
+    (Runner.percentile [| 7.0 |] 50.0);
+  (* p25 of 1..10 under nearest-rank is sample #ceil(2.5) = 3. *)
+  let ten = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p25 of 10" 3.0 (Runner.percentile ten 25.0)
+
+let test_measure_dist () =
+  let calls = ref 0 in
+  let d, v =
+    Runner.measure_dist ~reps:5
+      (fun () ->
+        incr calls;
+        !calls)
+  in
+  Alcotest.(check int) "five runs" 5 !calls;
+  Alcotest.(check int) "warm-up result returned" 1 v;
+  List.iter
+    (fun (name, ms) ->
+      Alcotest.(check bool) (name ^ " finite") true (finite ms))
+    [
+      ("mean", d.Runner.mean_ms); ("p50", d.Runner.p50_ms);
+      ("p95", d.Runner.p95_ms); ("p99", d.Runner.p99_ms);
+    ];
+  (* Percentiles come from the same warm-excluded sample, so they are
+     ordered and bracket the mean. *)
+  Alcotest.(check bool) "p50 <= p95" true (d.Runner.p50_ms <= d.Runner.p95_ms);
+  Alcotest.(check bool) "p95 <= p99" true (d.Runner.p95_ms <= d.Runner.p99_ms);
+  Alcotest.(check bool) "mean <= p99" true (d.Runner.mean_ms <= d.Runner.p99_ms)
+
 let tests =
   [
     Alcotest.test_case "measure with a single rep" `Quick
@@ -42,4 +76,7 @@ let tests =
     Alcotest.test_case "measure with two reps" `Quick test_measure_two_reps;
     Alcotest.test_case "measure rejects zero reps" `Quick
       test_measure_zero_reps_rejected;
+    Alcotest.test_case "nearest-rank percentile" `Quick
+      test_percentile_nearest_rank;
+    Alcotest.test_case "measure_dist percentiles" `Quick test_measure_dist;
   ]

@@ -1,0 +1,290 @@
+(* Batch execution layer (lib/exec): worker pool, sharded result
+   cache, and jobs=4 determinism against the sequential engine. *)
+
+module Engine = Xks_core.Engine
+module Exec = Xks_exec.Exec
+module Pool = Xks_exec.Pool
+module Cache = Xks_exec.Cache
+module Trace = Xks_trace.Trace
+module Fixtures = Xks_datagen.Paper_fixtures
+module Inverted = Xks_index.Inverted
+
+(* --- Pool --- *)
+
+let test_pool_preserves_order () =
+  Pool.with_pool ~size:3 (fun p ->
+      let results =
+        Pool.run_all p (List.init 20 (fun i () -> i * i))
+      in
+      Alcotest.(check (array int)) "input order"
+        (Array.init 20 (fun i -> i * i))
+        results)
+
+let test_pool_propagates_exception () =
+  Pool.with_pool ~size:2 (fun p ->
+      let ran = Atomic.make 0 in
+      let thunks =
+        List.init 8 (fun i () ->
+            Atomic.incr ran;
+            if i = 3 then failwith "task 3 boom";
+            i)
+      in
+      (match Pool.run_all p thunks with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error (Failure msg) ->
+          Alcotest.(check string) "wrapped exception" "task 3 boom" msg
+      | exception e -> raise e);
+      (* The batch still ran every task before re-raising. *)
+      Alcotest.(check int) "all tasks ran" 8 (Atomic.get ran))
+
+let test_pool_rejects_after_shutdown () =
+  let p = Pool.create ~size:1 () in
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Pool.submit p (fun () -> ()))
+
+let test_pool_rejects_zero_size () =
+  Alcotest.check_raises "size 0"
+    (Invalid_argument "Pool.create: size must be >= 1") (fun () ->
+      ignore (Pool.create ~size:0 ()))
+
+(* --- Cache --- *)
+
+let engine_xml = "<r><a>xml search</a><b>xml</b><c>keyword</c></r>"
+let mk_engine () = Engine.of_string engine_xml
+
+let mk_key engine words =
+  match
+    Cache.key ~engine ~algorithm:Engine.Validrtf
+      ~budget_class:Cache.unbudgeted words
+  with
+  | Some k -> k
+  | None -> Alcotest.fail "expected a cache key"
+
+(* An empty result costs the fixed per-result overhead (128 bytes in
+   the cache's accounting) — handy for exact eviction tests. *)
+let empty_result = { Engine.hits = []; degraded = None }
+
+let test_key_normalisation () =
+  let engine = mk_engine () in
+  let k1 = mk_key engine [ "XML"; "Search"; "xml" ] in
+  let k2 = mk_key engine [ "search"; "xml" ] in
+  Alcotest.(check bool) "order and duplicates collapse" true (k1 = k2);
+  let k3 = mk_key engine [ "search"; "xml"; "keyword" ] in
+  Alcotest.(check bool) "distinct keyword sets differ" false (k1 = k3);
+  Alcotest.(check bool) "no surviving keyword"
+    true
+    (Cache.key ~engine ~algorithm:Engine.Validrtf
+       ~budget_class:Cache.unbudgeted [ " "; "" ]
+    = None)
+
+let test_key_stale_invalidation () =
+  (* A reloaded/rebuilt index makes a new engine; its keys can never
+     collide with the old engine's entries. *)
+  let e1 = mk_engine () in
+  let e2 =
+    Engine.of_index (Inverted.build (Xks_xml.Parser.parse_string engine_xml))
+  in
+  let cache = Cache.create ~max_bytes:(1024 * 1024) () in
+  Cache.add cache (mk_key e1 [ "xml" ]) empty_result;
+  Alcotest.(check bool) "old engine hits" true
+    (Cache.find cache (mk_key e1 [ "xml" ]) <> None);
+  Alcotest.(check bool) "new engine misses" true
+    (Cache.find cache (mk_key e2 [ "xml" ]) = None)
+
+let test_cache_hit_miss_counters () =
+  let engine = mk_engine () in
+  let cache = Cache.create ~max_bytes:(1024 * 1024) () in
+  let k = mk_key engine [ "xml" ] in
+  let t = Trace.create () in
+  Trace.with_current t (fun () ->
+      Alcotest.(check bool) "cold miss" true (Cache.find cache k = None);
+      Cache.add cache k empty_result;
+      Alcotest.(check bool) "warm hit" true (Cache.find cache k <> None));
+  let s = Cache.stats cache in
+  Alcotest.(check int) "stats hits" 1 s.Cache.hits;
+  Alcotest.(check int) "stats misses" 1 s.Cache.misses;
+  Alcotest.(check int) "trace cache_hits" 1 (Trace.counter t Trace.Cache_hits);
+  Alcotest.(check int) "trace cache_misses" 1
+    (Trace.counter t Trace.Cache_misses)
+
+let test_cache_lru_eviction_order () =
+  let engine = mk_engine () in
+  (* One shard, room for exactly two empty results (128 bytes each). *)
+  let cache = Cache.create ~shards:1 ~max_bytes:300 () in
+  let ka = mk_key engine [ "a" ]
+  and kb = mk_key engine [ "b" ]
+  and kc = mk_key engine [ "c" ] in
+  Cache.add cache ka empty_result;
+  Cache.add cache kb empty_result;
+  (* Refresh a so b is now the least recently used... *)
+  Alcotest.(check bool) "a hit" true (Cache.find cache ka <> None);
+  Cache.add cache kc empty_result;
+  Alcotest.(check bool) "b evicted" true (Cache.find cache kb = None);
+  Alcotest.(check bool) "a kept" true (Cache.find cache ka <> None);
+  Alcotest.(check bool) "c kept" true (Cache.find cache kc <> None);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "two live entries" 2 s.Cache.entries
+
+let test_cache_oversized_not_cached () =
+  let engine = mk_engine () in
+  let cache = Cache.create ~shards:1 ~max_bytes:100 () in
+  let k = mk_key engine [ "xml" ] in
+  Cache.add cache k empty_result (* 128 bytes > 100-byte shard *);
+  Alcotest.(check int) "nothing stored" 0 (Cache.stats cache).Cache.entries
+
+let test_cache_shard_independence () =
+  let engine = mk_engine () in
+  let cache = Cache.create ~shards:4 ~max_bytes:(4 * 300) () in
+  Alcotest.(check int) "shard count" 4 (Cache.shard_count cache);
+  (* Many keys spread over shards; each shard holds two 128-byte
+     entries, so 16 inserts keep at most 8 but well over 2 — eviction
+     pressure in one shard does not wipe the others. *)
+  List.iter
+    (fun i -> Cache.add cache (mk_key engine [ "w" ^ string_of_int i ]) empty_result)
+    (List.init 16 Fun.id);
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "entries spread beyond one shard" true
+    (s.Cache.entries > 2);
+  Cache.clear cache;
+  Alcotest.(check int) "clear drops everything" 0
+    (Cache.stats cache).Cache.entries;
+  Alcotest.(check int) "clear keeps counters"
+    s.Cache.evictions
+    (Cache.stats cache).Cache.evictions
+
+(* --- batch semantics --- *)
+
+let test_budget_class () =
+  Alcotest.(check string) "none" "unbudgeted" (Exec.budget_class_of None);
+  Alcotest.(check string) "empty spec" "unbudgeted"
+    (Exec.budget_class_of (Some { Exec.deadline_ms = None; max_nodes = None }));
+  Alcotest.(check string) "deadline only" "t100:n-"
+    (Exec.budget_class_of
+       (Some { Exec.deadline_ms = Some 100; max_nodes = None }));
+  Alcotest.(check string) "both" "t100:n5000"
+    (Exec.budget_class_of
+       (Some { Exec.deadline_ms = Some 100; max_nodes = Some 5000 }))
+
+let paper_queries =
+  [ Fixtures.q1; Fixtures.q2; Fixtures.q3; Fixtures.q4; Fixtures.q5 ]
+
+let hit_list : Engine.hit list Alcotest.testable =
+  Alcotest.testable
+    (fun fmt hits -> Format.fprintf fmt "<%d hits>" (List.length hits))
+    ( = )
+
+let check_batch_matches_sequential engine queries =
+  let sequential = List.map (Engine.search engine) queries in
+  let cache = Cache.create ~max_bytes:(8 * 1024 * 1024) () in
+  Pool.with_pool ~size:4 (fun pool ->
+      let cold = Exec.search_batch ~pool ~cache engine queries in
+      let warm = Exec.search_batch ~pool ~cache engine queries in
+      List.iteri
+        (fun i seq ->
+          Alcotest.check hit_list
+            (Printf.sprintf "query %d (cold)" i)
+            seq cold.(i);
+          Alcotest.check hit_list
+            (Printf.sprintf "query %d (cache-served)" i)
+            seq warm.(i))
+        sequential);
+  Alcotest.(check bool) "second pass was cache-served" true
+    ((Cache.stats cache).Cache.hits >= List.length queries)
+
+let test_batch_determinism_fixtures () =
+  check_batch_matches_sequential
+    (Engine.of_doc (Fixtures.publications ()))
+    paper_queries;
+  check_batch_matches_sequential (Engine.of_doc (Fixtures.team ())) paper_queries
+
+let test_batch_determinism_generated () =
+  let doc =
+    Xks_datagen.Dblp_gen.(
+      generate ~config:{ default_config with entries = 150; seed = 23 } ())
+  in
+  let idx = Inverted.build doc in
+  let queries = Xks_datagen.Workload_gen.generate ~seed:31 ~count:50 idx in
+  Alcotest.(check int) "workload size" 50 (List.length queries);
+  (* Cross-check the workload itself with the differential oracle
+     before trusting it as a determinism baseline. *)
+  Alcotest.(check int) "oracle violations" 0
+    (List.length (Xks_check.Oracle.check_workload idx queries));
+  check_batch_matches_sequential (Engine.of_index idx) queries
+
+let test_batch_budget_semantics () =
+  (* A max_nodes budget degrades deterministically (node counts are not
+     time-dependent): the batch must degrade exactly like the
+     sequential path, per query. *)
+  let engine = Engine.of_doc (Fixtures.publications ()) in
+  let spec = { Exec.deadline_ms = None; max_nodes = Some 1 } in
+  let sequential =
+    List.map
+      (fun ws ->
+        Engine.search_result
+          ~budget:(Xks_robust.Budget.create ?max_nodes:spec.Exec.max_nodes ())
+          engine ws)
+      paper_queries
+  in
+  Pool.with_pool ~size:4 (fun pool ->
+      let batched =
+        Exec.search_batch_results ~pool ~budget:spec engine paper_queries
+      in
+      List.iteri
+        (fun i (seq : Engine.search_result) ->
+          Alcotest.check hit_list
+            (Printf.sprintf "budgeted query %d hits" i)
+            seq.Engine.hits
+            batched.(i).Engine.hits;
+          Alcotest.(check bool)
+            (Printf.sprintf "budgeted query %d degradation" i)
+            true
+            (seq.Engine.degraded = batched.(i).Engine.degraded))
+        sequential)
+
+let test_batch_empty_query_rejected () =
+  let engine = mk_engine () in
+  Pool.with_pool ~size:2 (fun pool ->
+      match Exec.search_batch ~pool engine [ [ "xml" ]; [] ] with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error (Invalid_argument _) -> ()
+      | exception e -> raise e);
+  (* Without a pool the raw exception escapes, as Engine.search does. *)
+  match Exec.search_batch engine [ [] ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "pool preserves input order" `Quick
+      test_pool_preserves_order;
+    Alcotest.test_case "pool propagates task exceptions" `Quick
+      test_pool_propagates_exception;
+    Alcotest.test_case "pool rejects submit after shutdown" `Quick
+      test_pool_rejects_after_shutdown;
+    Alcotest.test_case "pool rejects zero size" `Quick
+      test_pool_rejects_zero_size;
+    Alcotest.test_case "cache key normalisation" `Quick test_key_normalisation;
+    Alcotest.test_case "cache stale invalidation across engines" `Quick
+      test_key_stale_invalidation;
+    Alcotest.test_case "cache hit/miss counters" `Quick
+      test_cache_hit_miss_counters;
+    Alcotest.test_case "cache LRU eviction order" `Quick
+      test_cache_lru_eviction_order;
+    Alcotest.test_case "cache skips oversized results" `Quick
+      test_cache_oversized_not_cached;
+    Alcotest.test_case "cache shard independence and clear" `Quick
+      test_cache_shard_independence;
+    Alcotest.test_case "budget class strings" `Quick test_budget_class;
+    Alcotest.test_case "jobs=4 determinism on paper fixtures" `Quick
+      test_batch_determinism_fixtures;
+    Alcotest.test_case "jobs=4 determinism on generated workload" `Slow
+      test_batch_determinism_generated;
+    Alcotest.test_case "per-query budgets in a batch" `Quick
+      test_batch_budget_semantics;
+    Alcotest.test_case "empty query aborts the batch" `Quick
+      test_batch_empty_query_rejected;
+  ]

@@ -183,6 +183,32 @@ let prop_postings_sorted_and_complete =
           sorted && Array.to_list p = expected)
         (Array.to_list Helpers.words))
 
+(* Read-only sharing audit: Xks_exec workers share one index across
+   domains, which is sound only if lookups never mutate the structure.
+   [posting] must return the same physical array on every call — a
+   lazily materialised (memoised) table would hand back a fresh array
+   the first time and break the guarantee silently. *)
+let test_inverted_immutable_lookups () =
+  let doc = sample_doc () in
+  let idx = Inverted.build doc in
+  let before = Inverted.posting idx "xml" in
+  (* Exercise every read path, including a search through the engine. *)
+  ignore (Inverted.posting idx "nosuchword" : int array);
+  ignore (Inverted.vocabulary idx : string list);
+  ignore (Inverted.top_words idx 3 : (string * int) list);
+  ignore
+    (Xks_core.Engine.search
+       (Xks_core.Engine.of_index idx)
+       [ "xml"; "search" ]
+    : Xks_core.Engine.hit list);
+  Alcotest.(check bool) "same physical posting array" true
+    (before == Inverted.posting idx "xml");
+  (* Round-tripping through rows rebuilds an equal frozen table. *)
+  let idx' = Inverted.of_rows doc (Inverted.to_rows idx) in
+  Alcotest.(check (list int)) "row round-trip preserves postings"
+    (Array.to_list before)
+    (Array.to_list (Inverted.posting idx' "xml"))
+
 (* --- Suggest --- *)
 
 let test_levenshtein () =
@@ -263,6 +289,8 @@ let tests =
     Alcotest.test_case "inverted postings" `Quick test_inverted_postings;
     Alcotest.test_case "inverted counts" `Quick test_inverted_counts;
     Helpers.qtest prop_postings_sorted_and_complete;
+    Alcotest.test_case "inverted lookups never mutate" `Quick
+      test_inverted_immutable_lookups;
     Alcotest.test_case "levenshtein distance" `Quick test_levenshtein;
     Alcotest.test_case "suggestions" `Quick test_suggest;
     Alcotest.test_case "query correction" `Quick test_correct_query;

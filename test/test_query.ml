@@ -13,6 +13,24 @@ let test_normalisation_and_dedup () =
     (Array.to_list q.Query.keywords);
   Alcotest.(check int) "k" 2 (Query.k q)
 
+let test_rarest_first_order () =
+  let idx =
+    idx_of "<r><a>xml search</a><b>search</b><c>search keyword</c></r>"
+  in
+  (* posting lengths: search 3, keyword 1, xml 1 *)
+  let q = Query.make ~order:`Rarest idx [ "search"; "xml"; "keyword" ] in
+  Alcotest.(check (list string)) "shortest posting list first, ties stable"
+    [ "xml"; "keyword"; "search" ]
+    (Array.to_list q.Query.keywords);
+  Alcotest.(check (list int)) "postings permuted with their keywords"
+    [ 1; 1; 3 ]
+    (Array.to_list (Array.map Array.length q.Query.postings));
+  (* The default stays first-occurrence order. *)
+  let q' = Query.make idx [ "search"; "xml"; "keyword" ] in
+  Alcotest.(check (list string)) "default keeps given order"
+    [ "search"; "xml"; "keyword" ]
+    (Array.to_list q'.Query.keywords)
+
 let test_validation () =
   let idx = idx_of "<r>x</r>" in
   Alcotest.check_raises "empty" (Invalid_argument "Query.make: empty query")
@@ -71,6 +89,7 @@ let test_pp () =
 let tests =
   [
     Alcotest.test_case "normalisation and dedup" `Quick test_normalisation_and_dedup;
+    Alcotest.test_case "rarest-first ordering" `Quick test_rarest_first_order;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "has_results" `Quick test_has_results;
     Alcotest.test_case "keyword_index" `Quick test_keyword_index;

@@ -10,8 +10,12 @@ module Inverted = Xks_index.Inverted
 module Fixtures = Xks_datagen.Paper_fixtures
 module Invariant = Xks_check.Invariant
 module Oracle = Xks_check.Oracle
+module Engine = Xks_core.Engine
+module Exec = Xks_exec.Exec
+module Pool = Xks_exec.Pool
 
 let generated_queries = 120
+let determinism_jobs = 4
 
 let report corpus violations =
   List.iter
@@ -23,6 +27,40 @@ let check_corpus name doc queries =
   let idx = Inverted.build doc in
   let bad = report name (Invariant.index idx) in
   bad + report name (Oracle.check_workload idx queries)
+
+(* Parallel determinism: for every query, Exec.search_batch over a
+   jobs-wide pool must return hits structurally identical to the
+   sequential Engine.search — and so must a second, cache-served pass
+   (same engine, so the shared cache answers it). *)
+let check_determinism name idx queries =
+  let engine = Engine.of_index idx in
+  let sequential = List.map (Engine.search engine) queries in
+  let cache = Exec.Cache.create ~max_bytes:(8 * 1024 * 1024) () in
+  let cold, warm =
+    Pool.with_pool ~size:determinism_jobs (fun pool ->
+        ( Exec.search_batch ~pool ~cache engine queries,
+          Exec.search_batch ~pool ~cache engine queries ))
+  in
+  let bad = ref 0 in
+  List.iteri
+    (fun i seq ->
+      let q = String.concat " " (List.nth queries i) in
+      if cold.(i) <> seq then begin
+        incr bad;
+        Printf.printf
+          "%s: parallel determinism: jobs=%d hits differ from sequential for \
+           %S\n"
+          name determinism_jobs q
+      end;
+      if warm.(i) <> seq then begin
+        incr bad;
+        Printf.printf
+          "%s: parallel determinism: cache-served hits differ from \
+           sequential for %S\n"
+          name q
+      end)
+    sequential;
+  !bad
 
 let () =
   let paper_queries =
@@ -46,12 +84,23 @@ let () =
   in
   bad := !bad + report "dblp-gen" (Invariant.index idx);
   bad := !bad + report "dblp-gen" (Oracle.check_workload idx workload);
+  (* Batch execution must be indistinguishable from the sequential
+     loop on the same workloads. *)
+  bad :=
+    !bad
+    + check_determinism "publications"
+        (Inverted.build (Fixtures.publications ()))
+        paper_queries;
+  bad :=
+    !bad
+    + check_determinism "team" (Inverted.build (Fixtures.team ())) paper_queries;
+  bad := !bad + check_determinism "dblp-gen" idx workload;
   let audited = (2 * List.length paper_queries) + List.length workload in
   if !bad = 0 then
     Printf.printf
       "check: ok — %d queries audited (invariants, ELCA/SLCA differential, \
-       Definition 4 post-conditions)\n"
-      audited
+       Definition 4 post-conditions, jobs=%d batch determinism)\n"
+      audited determinism_jobs
   else begin
     Printf.eprintf "check: %d violation(s) across %d queries\n" !bad audited;
     exit 1

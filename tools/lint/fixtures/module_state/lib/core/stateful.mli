@@ -1,0 +1,12 @@
+val bad_counter : int ref
+val bad_table : (string, int) Hashtbl.t
+val bad_atomic : int Atomic.t
+val bad_nested : int Queue.t
+
+module Inner : sig
+  val bad_inner : Buffer.t
+end
+
+val ok_fresh : unit -> int
+val ok_closure : unit -> int ref
+val allowed : int list ref

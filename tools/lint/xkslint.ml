@@ -28,6 +28,15 @@
                        from library code — stdout is the CLI's result
                        channel.
    R5 [missing-mli]    Every library module needs an interface file.
+   R6 [module-state]   No mutable state created at module level in
+                       library code ([ref]/[Hashtbl.create]/
+                       [Atomic.make]/[Queue.create]/[Buffer.create]
+                       outside any function): module-level state is
+                       process-global, breaks reentrancy and is the
+                       enemy of the multi-domain batch executor.  State
+                       created inside a function body is per-call and
+                       fine.  A small allowlist covers the deliberate
+                       cases (failpoint registry, trace slot).
 
    Findings print as [file:line: [rule] message]; a finding is
    suppressed by the comment [(* xkslint: allow <rule> *)] on the same
@@ -42,6 +51,7 @@ type rule =
   | Catch_all
   | Stdout_print
   | Missing_mli
+  | Module_state
 
 let rule_id = function
   | Poly_compare -> "poly-compare"
@@ -49,6 +59,7 @@ let rule_id = function
   | Catch_all -> "catch-all"
   | Stdout_print -> "stdout-print"
   | Missing_mli -> "missing-mli"
+  | Module_state -> "module-state"
 
 type finding = { file : string; line : int; rule : rule; msg : string }
 
@@ -88,6 +99,23 @@ let stdout_qualified =
     ("Format", "print_string");
     ("Format", "print_newline");
     ("Format", "print_flush");
+  ]
+
+(* Library files whose module-level state is deliberate (R6): the
+   failpoint registry is the fault-injection control surface and the
+   trace module owns the global current-trace slot.  Everything else
+   needs an inline [(* xkslint: allow module-state *)] with a safety
+   argument next to the definition. *)
+let module_state_allowlist = [ "failpoint.ml"; "trace.ml" ]
+
+(* (module, function) constructors of mutable state flagged by R6 when
+   called at module level. *)
+let state_constructors =
+  [
+    ("Hashtbl", "create");
+    ("Atomic", "make");
+    ("Queue", "create");
+    ("Buffer", "create");
   ]
 
 (* Identifiers banned unconditionally by R1 (unless shadowed). *)
@@ -223,6 +251,42 @@ let check_file path =
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf path;
   let structure = Parse.implementation lexbuf in
+  (* R6: mutable state created at module level in library code.  A
+     dedicated iterator that never descends into function bodies —
+     state allocated per call is fine; state allocated when the module
+     initialises is process-global. *)
+  (if
+     (match area with Lib -> true | Bin | Bench | Test | Other_area -> false)
+     && not
+          (List.exists
+             (String.equal (Filename.basename path))
+             module_state_allowlist)
+   then
+     let emit_state line what =
+       emit line Module_state
+         (Printf.sprintf
+            "mutable state ('%s') created at module level in library code \
+             (process-global, hostile to multi-domain execution); allocate \
+             it inside the function or record that owns it"
+            what)
+     in
+     let state_hook it (e : Parsetree.expression) =
+       match e.pexp_desc with
+       | Pexp_fun _ | Pexp_function _ -> ()
+       | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _) ->
+           (match txt with
+           | Lident "ref" -> emit_state (line_of loc) "ref"
+           | Ldot (Lident m, f)
+             when List.exists
+                    (fun (bm, bf) -> String.equal m bm && String.equal f bf)
+                    state_constructors ->
+               emit_state (line_of loc) (m ^ "." ^ f)
+           | _ -> ());
+           Ast_iterator.default_iterator.expr it e
+       | _ -> Ast_iterator.default_iterator.expr it e
+     in
+     let state_it = { Ast_iterator.default_iterator with expr = state_hook } in
+     state_it.structure state_it structure);
   let comparator_module =
     List.exists (String.equal (Filename.basename path)) comparator_modules
   in
