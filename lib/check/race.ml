@@ -1,0 +1,104 @@
+(* Dynamic complement of tools/race/xksrace: a lock-free access journal
+   filled by the cache's [instrument] hook and replayed against the
+   lock-held invariant.
+
+   Events are appended with a CAS loop (never a lock of our own — the
+   journal must not serialize the contention it is observing) and carry
+   a global sequence number.  The producer protocol (Exec.Cache) takes
+   the sequence number while the shard mutex is held, so for any single
+   shard the sequence order is consistent with its critical-section
+   order, which is exactly what the replay needs: per shard, the journal
+   must read as well-nested [Lock … accesses … Unlock] sections, every
+   Read/Write falling inside a section opened by the same domain. *)
+
+type op = Lock | Unlock | Read | Write
+
+let op_name = function
+  | Lock -> "lock"
+  | Unlock -> "unlock"
+  | Read -> "read"
+  | Write -> "write"
+
+type event = { domain : int; shard : int; op : op; seq : int }
+
+type t = { next_seq : int Atomic.t; events : event list Atomic.t }
+
+let create () = { next_seq = Atomic.make 0; events = Atomic.make [] }
+
+let record t ~shard op =
+  let e =
+    {
+      domain = (Domain.self () :> int);
+      shard;
+      op;
+      seq = Atomic.fetch_and_add t.next_seq 1;
+    }
+  in
+  let rec push () =
+    let old = Atomic.get t.events in
+    if not (Atomic.compare_and_set t.events old (e :: old)) then push ()
+  in
+  push ()
+
+let instrument t shard op =
+  record t ~shard
+    (match op with
+    | Xks_exec.Cache.Lock -> Lock
+    | Xks_exec.Cache.Unlock -> Unlock
+    | Xks_exec.Cache.Read -> Read
+    | Xks_exec.Cache.Write -> Write)
+
+let events t =
+  List.sort
+    (fun a b -> Int.compare a.seq b.seq)
+    (Atomic.get t.events)
+
+let length t = List.length (Atomic.get t.events)
+
+let describe e =
+  Printf.sprintf "seq %d: domain %d %s on shard %d" e.seq e.domain
+    (op_name e.op) e.shard
+
+(* Replay one shard's journal slice: a [holder] of the shard mutex (or
+   none), advanced event by event. *)
+let check t =
+  let violations = ref [] in
+  let flag rule e detail =
+    violations :=
+      { Invariant.rule; detail = Printf.sprintf "%s (%s)" detail (describe e) }
+      :: !violations
+  in
+  let holders : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match (e.op, Hashtbl.find_opt holders e.shard) with
+      | Lock, Some d ->
+          flag "race-double-lock" e
+            (Printf.sprintf
+               "shard %d locked while domain %d already holds it" e.shard d)
+      | Lock, None -> Hashtbl.replace holders e.shard e.domain
+      | Unlock, Some d when d = e.domain -> Hashtbl.remove holders e.shard
+      | Unlock, Some d ->
+          flag "race-foreign-unlock" e
+            (Printf.sprintf "shard %d is held by domain %d" e.shard d)
+      | Unlock, None -> flag "race-unheld-unlock" e "shard is not locked"
+      | (Read | Write), Some d when d = e.domain -> ()
+      | (Read | Write), Some d ->
+          flag "race-access-wrong-holder" e
+            (Printf.sprintf "shard %d is held by domain %d" e.shard d)
+      | (Read | Write), None ->
+          flag "race-unlocked-access" e
+            "guarded shard state accessed with no lock held")
+    (events t);
+  Hashtbl.iter
+    (fun shard d ->
+      violations :=
+        {
+          Invariant.rule = "race-leaked-lock";
+          detail =
+            Printf.sprintf
+              "shard %d still held by domain %d at end of journal" shard d;
+        }
+        :: !violations)
+    holders;
+  List.rev !violations

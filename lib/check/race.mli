@@ -1,0 +1,44 @@
+(** Dynamic race detection for the sharded cache — the runtime
+    complement of [tools/race/xksrace].
+
+    The static analyzer proves the lock discipline is followed
+    {e syntactically}; this journal replays what actually happened at
+    run time.  Feed {!instrument} to {!Xks_exec.Cache.create}, drive the
+    cache from several domains, then {!check}: every [Read]/[Write] a
+    shard reported must fall inside a [Lock]/[Unlock] section opened by
+    the same domain, locks must not be re-taken while held, and no
+    section may be left open.
+
+    Recording is lock-free (CAS append) so the journal never serializes
+    the contention it is observing; sequence numbers are taken while the
+    producer holds the shard mutex, which makes each shard's slice of
+    the journal consistent with its critical-section order. *)
+
+type op = Lock | Unlock | Read | Write
+
+type event = { domain : int; shard : int; op : op; seq : int }
+
+type t
+
+val create : unit -> t
+
+val record : t -> shard:int -> op -> unit
+(** Append one event, stamped with the calling domain and the next
+    global sequence number.  Safe to call from any domain. *)
+
+val instrument : t -> int -> Xks_exec.Cache.access -> unit
+(** Adapter with the exact shape of {!Xks_exec.Cache.create}'s
+    [?instrument] argument: [instrument t] records every cache access
+    into [t]. *)
+
+val events : t -> event list
+(** The journal in sequence order. *)
+
+val length : t -> int
+
+val check : t -> Invariant.violation list
+(** Replay the journal against the lock-held invariant.  Violation
+    rules: [race-double-lock], [race-foreign-unlock],
+    [race-unheld-unlock], [race-access-wrong-holder],
+    [race-unlocked-access], [race-leaked-lock].  Empty = every access
+    respected the discipline. *)

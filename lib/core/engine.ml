@@ -2,6 +2,11 @@ module Tree = Xks_xml.Tree
 module Budget = Xks_robust.Budget
 module Trace = Xks_trace.Trace
 
+(* [doc] carries the interned label table and [index] the inverted
+   index; both are mutable internally but written only while
+   parse/build constructs them — engines share them strictly
+   read-only. *)
+(* xksrace: domain_safe doc and index are frozen before the engine is shared *)
 type t = { id : int; doc : Tree.t; index : Xks_index.Inverted.t }
 type algorithm = Validrtf | Maxmatch | Maxmatch_original
 

@@ -11,7 +11,10 @@
    Concurrency: N independently mutex-guarded shards, so concurrent
    lookups from pool workers contend only when they hash to the same
    shard.  Capacity is split evenly across shards and accounted in
-   approximate bytes; eviction is strict LRU per shard. *)
+   approximate bytes; eviction is strict LRU per shard.  The lock
+   discipline is machine-checked two ways: statically by xksrace (the
+   guarded_by/requires_lock/locks annotations below) and dynamically by
+   Xks_check.Race over the journal produced through [instrument]. *)
 
 module Engine = Xks_core.Engine
 module Fragment = Xks_core.Fragment
@@ -54,17 +57,20 @@ type node = {
   nkey : key;
   value : Engine.search_result;
   cost : int;
-  mutable newer : node option;
-  mutable older : node option;
+  mutable newer : node option;  (* xksrace: guarded_by mutex *)
+  mutable older : node option;  (* xksrace: guarded_by mutex *)
 }
 
+type access = Lock | Unlock | Read | Write
+
 type shard = {
+  idx : int;
   mutex : Mutex.t;
-  table : (key, node) Hashtbl.t;
-  mutable newest : node option;
-  mutable oldest : node option;
-  mutable bytes : int;
   capacity : int;
+  table : (key, node) Hashtbl.t;  (* xksrace: guarded_by mutex *)
+  mutable newest : node option;  (* xksrace: guarded_by mutex *)
+  mutable oldest : node option;  (* xksrace: guarded_by mutex *)
+  mutable bytes : int;  (* xksrace: guarded_by mutex *)
 }
 
 type t = {
@@ -73,19 +79,21 @@ type t = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
+  instrument : (int -> access -> unit) option;
 }
 
 let rec power_of_two n acc = if acc >= n then acc else power_of_two n (acc * 2)
 
-let create ?(shards = 8) ~max_bytes () =
+let create ?(shards = 8) ?instrument ~max_bytes () =
   if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
   if max_bytes < 0 then invalid_arg "Cache.create: negative capacity";
   let n = power_of_two shards 1 in
   let capacity = max_bytes / n in
   {
     shards =
-      Array.init n (fun _ ->
+      Array.init n (fun idx ->
           {
+            idx;
             mutex = Mutex.create ();
             table = Hashtbl.create 64;
             newest = None;
@@ -97,10 +105,17 @@ let create ?(shards = 8) ~max_bytes () =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     evictions = Atomic.make 0;
+    instrument;
   }
 
 let shard_count t = Array.length t.shards
-let shard_of t k = t.shards.(Hashtbl.hash k land t.mask)
+let shard_index t k = Hashtbl.hash k land t.mask
+let shard_of t k = t.shards.(shard_index t k)
+
+let observe t s a =
+  match t.instrument with
+  | None -> ()
+  | Some f -> f s.idx a
 
 (* Approximate heap footprint of a cached result, in bytes: per-hit
    record overhead plus the fragment's node set.  Only relative sizes
@@ -112,6 +127,7 @@ let cost_of (r : Engine.search_result) =
 
 (* Shard-internal list surgery; caller holds the shard mutex. *)
 
+(* xksrace: requires_lock mutex *)
 let unlink s n =
   (match n.newer with
   | Some nw -> nw.older <- n.older
@@ -122,6 +138,7 @@ let unlink s n =
   n.newer <- None;
   n.older <- None
 
+(* xksrace: requires_lock mutex *)
 let push_front s n =
   n.older <- s.newest;
   n.newer <- None;
@@ -130,17 +147,25 @@ let push_front s n =
   | None -> s.oldest <- Some n);
   s.newest <- Some n
 
-let locked s f =
+(* xksrace: locks mutex *)
+let locked t s f =
   Mutex.lock s.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+  observe t s Lock;
+  Fun.protect
+    ~finally:(fun () ->
+      observe t s Unlock;
+      Mutex.unlock s.mutex)
+    f
 
 let find t k =
   let s = shard_of t k in
   let result =
-    locked s (fun () ->
+    locked t s (fun () ->
+        observe t s Read;
         match Hashtbl.find_opt s.table k with
         | None -> None
         | Some n ->
+            observe t s Write;
             unlink s n;
             push_front s n;
             Some n.value)
@@ -159,7 +184,8 @@ let add t k value =
   let cost = cost_of value in
   if cost <= s.capacity then begin
     let evicted =
-      locked s (fun () ->
+      locked t s (fun () ->
+          observe t s Write;
           (match Hashtbl.find_opt s.table k with
           | Some old ->
               unlink s old;
@@ -191,7 +217,8 @@ let add t k value =
 let clear t =
   Array.iter
     (fun s ->
-      locked s (fun () ->
+      locked t s (fun () ->
+          observe t s Write;
           Hashtbl.reset s.table;
           s.newest <- None;
           s.oldest <- None;
@@ -210,7 +237,8 @@ let stats t =
   let entries = ref 0 and bytes = ref 0 in
   Array.iter
     (fun s ->
-      locked s (fun () ->
+      locked t s (fun () ->
+          observe t s Read;
           entries := !entries + Hashtbl.length s.table;
           bytes := !bytes + s.bytes))
     t.shards;

@@ -37,13 +37,30 @@ val key :
 
 type t
 
-val create : ?shards:int -> max_bytes:int -> unit -> t
+type access = Lock | Unlock | Read | Write
+(** One instrumented shard access, as reported to [instrument]: the
+    shard mutex being taken / released, and reads/writes of the shard's
+    guarded state performed while it is held.  Consumed by
+    [Xks_check.Race] to replay the journal against the lock-held
+    invariant. *)
+
+val create :
+  ?shards:int -> ?instrument:(int -> access -> unit) -> max_bytes:int ->
+  unit -> t
 (** A cache of at most ~[max_bytes] (approximate accounting) split over
     [shards] (default 8, rounded up to a power of two) independent
-    shards.
+    shards.  When [instrument] is given it is called as
+    [instrument shard_index access] from inside every cache operation
+    ([Lock]/[Unlock] from the locking wrapper itself, [Read]/[Write]
+    between them); it runs on the calling domain with the shard mutex
+    held, so it must be cheap and must not call back into the cache.
     @raise Invalid_argument on [shards < 1] or negative [max_bytes]. *)
 
 val shard_count : t -> int
+
+val shard_index : t -> key -> int
+(** The shard a key hashes to (in [0, shard_count)).  Exposed so tests
+    can construct deliberate shard collisions for contention stress. *)
 
 val find : t -> key -> Xks_core.Engine.search_result option
 (** Lookup; a hit refreshes the entry's LRU position.  Ticks

@@ -3,20 +3,28 @@
    Workers block on [wake] while the queue is empty; [submit] enqueues a
    closure and signals.  Shutdown is graceful: workers drain whatever is
    already queued, then exit.  The pool carries no knowledge of queries
-   — [Exec] builds the batch semantics on top of [run_all]. *)
+   — [Exec] builds the batch semantics on top of [run_all].
+
+   Lock discipline (machine-checked by xksrace): the queue and the stop
+   flag are guarded by [mutex]; [workers] is owner-managed — it is
+   written by [create] before the pool value is shared and read/cleared
+   by the single caller that wins the [stop] flip in [shutdown], after
+   the workers have been woken. *)
 
 type t = {
   size : int;
   mutex : Mutex.t;
   wake : Condition.t;  (* new work or shutdown *)
-  work : (unit -> unit) Queue.t;
-  mutable stop : bool;
+  work : (unit -> unit) Queue.t;  (* xksrace: guarded_by mutex *)
+  mutable stop : bool;  (* xksrace: guarded_by mutex *)
+  (* xksrace: domain_safe owner-managed; see the lock-discipline note above *)
   mutable workers : unit Domain.t list;  (* [] after [shutdown] *)
 }
 
 let default_size () = max 1 (Domain.recommended_domain_count () - 1)
 
 let worker p () =
+  (* xksrace: requires_lock mutex *)
   let rec next () =
     match Queue.take_opt p.work with
     | Some job -> Some job

@@ -1,6 +1,9 @@
 module Tree = Xks_xml.Tree
 module Tokenizer = Xks_xml.Tokenizer
 
+(* Both members are only written while [build] runs; the frozen copies
+   below are what the query path reads. *)
+(* xksrace: domain_safe written only during build, before the index is shared *)
 type entry = { ids : Xks_util.Int_vec.t; mutable occurrences : int }
 
 (* Immutable once constructed: [build]/[of_rows] freeze the growable
@@ -9,8 +12,10 @@ type entry = { ids : Xks_util.Int_vec.t; mutable occurrences : int }
    no lock guards the index on the query path).  [entry.occurrences] is
    only written while [build] runs. *)
 type t = {
-  doc : Tree.t;
+  doc : Tree.t;  (* xksrace: domain_safe label table frozen once the tree is built *)
+  (* xksrace: domain_safe populated by build/of_rows, read-only afterwards *)
   entries : (string, entry) Hashtbl.t;
+  (* xksrace: domain_safe populated by build/of_rows, read-only afterwards *)
   frozen : (string, int array) Hashtbl.t;
 }
 

@@ -63,8 +63,14 @@ type t = {
   counters : int Atomic.t array;
   owner : int Atomic.t;  (* id of the domain that installed the trace *)
   events : string list Atomic.t;  (* degradation reasons, reverse order *)
+  (* The span fields are deliberately unsynchronized: [owns] gates
+     every write so only the domain that installed the trace touches
+     them (worker domains tick the atomic counters only). *)
+  (* xksrace: domain_safe owner-domain protocol, every write gated by owns *)
   mutable stack : (string * int * float) list;  (* label, seq, start s *)
+  (* xksrace: domain_safe owner-domain protocol, every write gated by owns *)
   mutable closed : span list;  (* reverse completion order *)
+  (* xksrace: domain_safe owner-domain protocol, every write gated by owns *)
   mutable next_seq : int;
 }
 

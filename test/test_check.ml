@@ -8,6 +8,8 @@ module Inverted = Xks_index.Inverted
 module Naive = Xks_lca.Naive
 module Invariant = Xks_check.Invariant
 module Oracle = Xks_check.Oracle
+module Race = Xks_check.Race
+module Cache = Xks_exec.Cache
 
 let publications_index () = Inverted.build (Fixtures.publications ())
 
@@ -121,6 +123,76 @@ let test_index_invariant_clean () =
   Alcotest.(check (list string))
     "whole index clean" [] (rules (Invariant.index (publications_index ())))
 
+(* --- dynamic race checker: journal replay sensitivity --- *)
+
+let test_race_journal_clean () =
+  let j = Race.create () in
+  Race.record j ~shard:0 Race.Lock;
+  Race.record j ~shard:0 Race.Read;
+  Race.record j ~shard:0 Race.Write;
+  Race.record j ~shard:0 Race.Unlock;
+  Race.record j ~shard:1 Race.Lock;
+  Race.record j ~shard:1 Race.Unlock;
+  Alcotest.(check (list string)) "well-nested journal is clean" []
+    (rules (Race.check j));
+  Alcotest.(check int) "all events kept" 6 (Race.length j)
+
+let test_race_flags_unlocked_access () =
+  let j = Race.create () in
+  Race.record j ~shard:0 Race.Lock;
+  Race.record j ~shard:0 Race.Unlock;
+  Race.record j ~shard:0 Race.Write;
+  Alcotest.(check (list string)) "write after unlock flagged"
+    [ "race-unlocked-access" ]
+    (rules (Race.check j))
+
+let test_race_flags_double_and_leaked_lock () =
+  let j = Race.create () in
+  Race.record j ~shard:2 Race.Lock;
+  Race.record j ~shard:2 Race.Lock;
+  Alcotest.(check (list string)) "relock while held, then never released"
+    [ "race-double-lock"; "race-leaked-lock" ]
+    (rules (Race.check j))
+
+let test_race_flags_unheld_unlock () =
+  let j = Race.create () in
+  Race.record j ~shard:3 Race.Unlock;
+  Alcotest.(check (list string)) "unlock of an unheld shard"
+    [ "race-unheld-unlock" ]
+    (rules (Race.check j))
+
+(* End to end: a cache created with the Race adapter journals its own
+   lock discipline, and the journal replays clean. *)
+let test_race_instrumented_cache_clean () =
+  let engine = Xks_core.Engine.of_string "<r><a>xml search</a></r>" in
+  let j = Race.create () in
+  let cache =
+    Cache.create ~shards:2 ~instrument:(Race.instrument j)
+      ~max_bytes:(1024 * 1024) ()
+  in
+  let key w =
+    match
+      Cache.key ~engine ~algorithm:Xks_core.Engine.Validrtf
+        ~budget_class:Cache.unbudgeted [ w ]
+    with
+    | Some k -> k
+    | None -> Alcotest.fail "expected a cache key"
+  in
+  let empty = { Xks_core.Engine.hits = []; degraded = None } in
+  List.iter
+    (fun i ->
+      let k = key (Printf.sprintf "w%d" i) in
+      (match Cache.find cache k with
+      | Some _ -> ()
+      | None -> Cache.add cache k empty);
+      ignore (Cache.find cache k : Xks_core.Engine.search_result option))
+    (List.init 8 Fun.id);
+  ignore (Cache.stats cache : Cache.stats);
+  Cache.clear cache;
+  Alcotest.(check bool) "journal recorded events" true (Race.length j > 0);
+  Alcotest.(check (list string)) "instrumented cache replays clean" []
+    (rules (Race.check j))
+
 let tests =
   [
     Alcotest.test_case "oracle flags broken slca" `Quick
@@ -139,4 +211,13 @@ let tests =
     Alcotest.test_case "doc_order flags shuffle" `Quick
       test_doc_order_flags_shuffle;
     Alcotest.test_case "index invariant clean" `Quick test_index_invariant_clean;
+    Alcotest.test_case "race journal clean" `Quick test_race_journal_clean;
+    Alcotest.test_case "race flags unlocked access" `Quick
+      test_race_flags_unlocked_access;
+    Alcotest.test_case "race flags double and leaked lock" `Quick
+      test_race_flags_double_and_leaked_lock;
+    Alcotest.test_case "race flags unheld unlock" `Quick
+      test_race_flags_unheld_unlock;
+    Alcotest.test_case "race journal clean on instrumented cache" `Quick
+      test_race_instrumented_cache_clean;
   ]

@@ -156,6 +156,93 @@ let test_cache_shard_independence () =
     s.Cache.evictions
     (Cache.stats cache).Cache.evictions
 
+(* Deep LRU stability: with three resident entries and promotions
+   between evictions, the victim must always be the least-recently
+   *accessed* entry, never insertion order. *)
+let test_cache_eviction_order_deep () =
+  let engine = mk_engine () in
+  (* One shard, room for exactly three 128-byte empty results. *)
+  let cache = Cache.create ~shards:1 ~max_bytes:384 () in
+  let key w = mk_key engine [ w ] in
+  let k1 = key "alpha" and k2 = key "beta" and k3 = key "gamma" in
+  let k4 = key "delta" and k5 = key "epsilon" in
+  Cache.add cache k1 empty_result;
+  Cache.add cache k2 empty_result;
+  Cache.add cache k3 empty_result;
+  Alcotest.(check int) "three entries fit" 3 (Cache.stats cache).Cache.entries;
+  (* Promote k2 over k1, then insert k4: the victim is k1. *)
+  Alcotest.(check bool) "promote k2" true (Cache.find cache k2 <> None);
+  Cache.add cache k4 empty_result;
+  Alcotest.(check bool) "k1 (least recent) evicted" true
+    (Cache.find cache k1 = None);
+  (* Promote k2 and k3 over k4, then insert k5: the victim is k4 even
+     though it is the youngest insertion. *)
+  Alcotest.(check bool) "k2 kept" true (Cache.find cache k2 <> None);
+  Alcotest.(check bool) "k3 kept" true (Cache.find cache k3 <> None);
+  Cache.add cache k5 empty_result;
+  Alcotest.(check bool) "k4 evicted despite youngest insert" true
+    (Cache.find cache k4 = None);
+  Alcotest.(check bool) "k5 resident" true (Cache.find cache k5 <> None);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "two evictions" 2 s.Cache.evictions;
+  Alcotest.(check int) "byte accounting tracks entries" (128 * s.Cache.entries)
+    s.Cache.bytes
+
+(* Contention stress: 4 domains hammer keys that all collide on one
+   shard (plus periodic clears and stats snapshots), then the global
+   accounting must balance exactly — every lookup was either a hit or
+   a miss, and bytes never went negative. *)
+let test_cache_contention_stress () =
+  let engine = mk_engine () in
+  let cache = Cache.create ~shards:4 ~max_bytes:(1024 * 1024) () in
+  let candidates =
+    List.init 64 (fun i -> mk_key engine [ Printf.sprintf "w%d" i ])
+  in
+  let target =
+    match candidates with
+    | k :: _ -> Cache.shard_index cache k
+    | [] -> Alcotest.fail "no candidate keys"
+  in
+  let keys =
+    List.filter (fun k -> Cache.shard_index cache k = target) candidates
+  in
+  Alcotest.(check bool) "several keys collide on one shard" true
+    (List.length keys >= 4);
+  let lookups = Atomic.make 0 in
+  let negative_bytes = Atomic.make false in
+  let rounds = 60 in
+  Pool.with_pool ~size:4 (fun p ->
+      ignore
+        (Pool.run_all p
+           (List.init 4 (fun d () ->
+                for r = 1 to rounds do
+                  List.iteri
+                    (fun i k ->
+                      Atomic.incr lookups;
+                      (match Cache.find cache k with
+                      | Some _ -> ()
+                      | None -> Cache.add cache k empty_result);
+                      (* Periodic cross-shard churn from every domain:
+                         clear takes each shard lock in turn, stats
+                         snapshots them under contention. *)
+                      if (r + i + d) mod 17 = 0 then Cache.clear cache;
+                      if (i + d) mod 5 = 0 then begin
+                        let s = Cache.stats cache in
+                        if s.Cache.bytes < 0 then
+                          Atomic.set negative_bytes true
+                      end)
+                    keys
+                done))
+         : unit array));
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "bytes never negative" false
+    (Atomic.get negative_bytes);
+  Alcotest.(check bool) "final bytes non-negative" true (s.Cache.bytes >= 0);
+  Alcotest.(check int) "hits + misses = lookups" (Atomic.get lookups)
+    (s.Cache.hits + s.Cache.misses);
+  Alcotest.(check int) "byte accounting balances" (128 * s.Cache.entries)
+    s.Cache.bytes
+
 (* --- batch semantics --- *)
 
 let test_budget_class () =
@@ -278,6 +365,10 @@ let tests =
       test_cache_oversized_not_cached;
     Alcotest.test_case "cache shard independence and clear" `Quick
       test_cache_shard_independence;
+    Alcotest.test_case "cache eviction order under promotion" `Quick
+      test_cache_eviction_order_deep;
+    Alcotest.test_case "cache contention stress (4 domains, one shard)" `Quick
+      test_cache_contention_stress;
     Alcotest.test_case "budget class strings" `Quick test_budget_class;
     Alcotest.test_case "jobs=4 determinism on paper fixtures" `Quick
       test_batch_determinism_fixtures;

@@ -38,7 +38,16 @@
                        fine.  A small allowlist covers the deliberate
                        cases (failpoint registry, trace slot).
 
-   Findings print as [file:line: [rule] message]; a finding is
+   Findings print in the compiler's own location format —
+
+     File "lib/xml/dewey.ml", line 12, characters 10-17:
+     [poly-compare] message
+
+   — so editors and CI annotators that already parse ocaml diagnostics
+   pick them up unchanged ([missing-mli], which has no source span,
+   anchors to line 1, characters 0-0).  [--json] instead emits one
+   object {tool, files_scanned, findings: [{file, line, characters,
+   rule, message}]} on stdout for machine ingestion.  A finding is
    suppressed by the comment [(* xkslint: allow <rule> *)] on the same
    line or the line directly above.  Exit status: 0 clean, 1 findings,
    2 usage or parse errors. *)
@@ -61,7 +70,14 @@ let rule_id = function
   | Missing_mli -> "missing-mli"
   | Module_state -> "module-state"
 
-type finding = { file : string; line : int; rule : rule; msg : string }
+type finding = {
+  file : string;
+  line : int;
+  cstart : int;  (* column span, 0-based, compiler convention *)
+  cend : int;
+  rule : rule;
+  msg : string;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                      *)
@@ -193,6 +209,10 @@ let allowed allows line rule =
 
 let line_of (loc : Location.t) = loc.loc_start.pos_lnum
 
+let cols_of (loc : Location.t) =
+  ( loc.loc_start.pos_cnum - loc.loc_start.pos_bol,
+    loc.loc_end.pos_cnum - loc.loc_end.pos_bol )
+
 (* Names let-bound anywhere in the file: a module that defines its own
    [compare]/[min]/[max] may use them bare. *)
 let bound_names structure =
@@ -235,15 +255,19 @@ let check_file path =
   in
   let allows = scan_allows src in
   let area = area_of_path path in
-  let emit line rule msg =
+  let emit ~line ~cols:(cstart, cend) rule msg =
     if not (allowed allows line rule) then
-      findings := { file = path; line; rule; msg } :: !findings
+      findings := { file = path; line; cstart; cend; rule; msg } :: !findings
   in
-  (* R5: library modules need an interface. *)
+  let emit_at loc rule msg =
+    emit ~line:(line_of loc) ~cols:(cols_of loc) rule msg
+  in
+  (* R5: library modules need an interface.  No source span to point
+     at, so the finding anchors to the top of the file. *)
   (match area with
   | Lib ->
       if not (Sys.file_exists (path ^ "i")) then
-        emit 1 Missing_mli
+        emit ~line:1 ~cols:(0, 0) Missing_mli
           (Printf.sprintf "library module %s has no interface file (%si)"
              (Filename.basename path)
              (Filename.basename path))
@@ -262,8 +286,8 @@ let check_file path =
              (String.equal (Filename.basename path))
              module_state_allowlist)
    then
-     let emit_state line what =
-       emit line Module_state
+     let emit_state loc what =
+       emit_at loc Module_state
          (Printf.sprintf
             "mutable state ('%s') created at module level in library code \
              (process-global, hostile to multi-domain execution); allocate \
@@ -275,12 +299,12 @@ let check_file path =
        | Pexp_fun _ | Pexp_function _ -> ()
        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _) ->
            (match txt with
-           | Lident "ref" -> emit_state (line_of loc) "ref"
+           | Lident "ref" -> emit_state loc "ref"
            | Ldot (Lident m, f)
              when List.exists
                     (fun (bm, bf) -> String.equal m bm && String.equal f bf)
                     state_constructors ->
-               emit_state (line_of loc) (m ^ "." ^ f)
+               emit_state loc (m ^ "." ^ f)
            | _ -> ());
            Ast_iterator.default_iterator.expr it e
        | _ -> Ast_iterator.default_iterator.expr it e
@@ -299,7 +323,7 @@ let check_file path =
           && List.exists (String.equal name) poly_idents
           && not (StringSet.mem name shadowed)
         then
-          emit (line_of loc) Poly_compare
+          emit_at loc Poly_compare
             (Printf.sprintf
                "polymorphic '%s' in a module with a dedicated comparator; \
                 use Int/String/%s functions instead"
@@ -310,7 +334,7 @@ let check_file path =
           (match area with Lib -> true | Bin | Bench | Test | Other_area -> false)
           && List.exists (String.equal name) stdout_idents
         then
-          emit (line_of loc) Stdout_print
+          emit_at loc Stdout_print
             (Printf.sprintf
                "'%s' writes to stdout from library code (stdout is the \
                 CLI's result channel); return data or use Format on an \
@@ -323,7 +347,7 @@ let check_file path =
                (fun (bm, bf) -> String.equal m bm && String.equal f bf)
                partial_calls
         then
-          emit (line_of loc) Partial_call
+          emit_at loc Partial_call
             (Printf.sprintf
                "partial '%s.%s' outside test code; match explicitly or use \
                 a total alternative (%s) so a broken invariant fails with \
@@ -341,7 +365,7 @@ let check_file path =
                (fun (bm, bf) -> String.equal m bm && String.equal f bf)
                stdout_qualified
         then
-          emit (line_of loc) Stdout_print
+          emit_at loc Stdout_print
             (Printf.sprintf
                "'%s.%s' writes to stdout from library code (stdout is the \
                 CLI's result channel)"
@@ -354,7 +378,7 @@ let check_file path =
         List.iter
           (fun (c : Parsetree.case) ->
             if pattern_is_catch_all c.pc_lhs then
-              emit (line_of c.pc_lhs.ppat_loc) Catch_all
+              emit_at c.pc_lhs.ppat_loc Catch_all
                 "catch-all exception handler ('with _ ->') swallows \
                  Out_of_memory and Stack_overflow; match the specific \
                  exceptions instead")
@@ -367,7 +391,7 @@ let check_file path =
         match args with
         | (_, a) :: (_, b) :: _ ->
             if not (is_literal a || is_literal b) then
-              emit (line_of loc) Poly_compare
+              emit_at loc Poly_compare
                 (Printf.sprintf
                    "polymorphic '%s' on two computed operands in a module \
                     with a dedicated comparator; use Int.equal/Int.compare \
@@ -399,14 +423,55 @@ let rec walk path acc =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_text f =
+  Printf.printf "File \"%s\", line %d, characters %d-%d:\n[%s] %s\n" f.file
+    f.line f.cstart f.cend (rule_id f.rule) f.msg
+
+let print_json ~files_scanned findings =
+  print_string "{\n";
+  Printf.printf "  \"tool\": \"xkslint\",\n";
+  Printf.printf "  \"files_scanned\": %d,\n" files_scanned;
+  Printf.printf "  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      Printf.printf "%s\n    {\"file\": \"%s\", \"line\": %d, \"characters\": \
+                     [%d, %d], \"rule\": \"%s\", \"message\": \"%s\"}"
+        (if i = 0 then "" else ",")
+        (json_escape f.file) f.line f.cstart f.cend (rule_id f.rule)
+        (json_escape f.msg))
+    findings;
+  if findings <> [] then print_string "\n  ";
+  print_string "]\n}\n"
+
 let () =
-  let roots =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as roots) -> roots
-    | _ ->
-        prerr_endline "usage: xkslint DIR...";
-        exit 2
-  in
+  let json = ref false in
+  let roots = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | _ -> roots := arg :: !roots)
+    Sys.argv;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    prerr_endline "usage: xkslint [--json] DIR...";
+    exit 2
+  end;
   List.iter
     (fun r ->
       if not (Sys.file_exists r) then begin
@@ -432,19 +497,23 @@ let () =
         if c <> 0 then c
         else
           let c = Int.compare a.line b.line in
-          if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule))
+          if c <> 0 then c
+          else
+            let c = Int.compare a.cstart b.cstart in
+            if c <> 0 then c
+            else String.compare (rule_id a.rule) (rule_id b.rule))
       findings
   in
-  List.iter
-    (fun f ->
-      Printf.printf "%s:%d: [%s] %s\n" f.file f.line (rule_id f.rule) f.msg)
-    findings;
+  if !json then print_json ~files_scanned:(List.length files) findings
+  else List.iter print_text findings;
   match findings with
   | [] -> ()
   | _ :: _ ->
-      Printf.eprintf "xkslint: %d finding(s) in %d file(s) (%d files scanned)\n"
-        (List.length findings)
-        (List.length
-           (List.sort_uniq String.compare (List.map (fun f -> f.file) findings)))
-        (List.length files);
+      if not !json then
+        Printf.eprintf
+          "xkslint: %d finding(s) in %d file(s) (%d files scanned)\n"
+          (List.length findings)
+          (List.length
+             (List.sort_uniq String.compare (List.map (fun f -> f.file) findings)))
+          (List.length files);
       exit 1

@@ -1,0 +1,14 @@
+(* Domain-crossing state done with atomics only: nothing to guard, no
+   annotations needed.  Must produce no findings. *)
+
+type t = { hits : int Atomic.t; name : string }
+
+let create name = { hits = Atomic.make 0; name }
+
+let touch t = Atomic.incr t.hits
+
+let run t =
+  let d = Domain.spawn (fun () -> touch t) in
+  touch t;
+  Domain.join d;
+  Atomic.get t.hits

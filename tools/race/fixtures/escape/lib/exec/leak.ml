@@ -1,0 +1,16 @@
+(* A module-level ref and a local ref both escape into a spawned
+   domain's closure with no synchronization: the acceptance case for
+   [unguarded-escape]. *)
+
+let total = ref 0
+
+let run () =
+  let shared = ref 0 in
+  let d =
+    Domain.spawn (fun () ->
+        shared := !shared + 1;
+        total := !total + 1)
+  in
+  shared := !shared + 1;
+  Domain.join d;
+  !shared + !total

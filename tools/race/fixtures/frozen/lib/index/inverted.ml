@@ -1,0 +1,23 @@
+(* A frozen-builder module (matched by file name) whose mutable members
+   carry no safety argument: every one must be flagged
+   [frozen-mutable]. *)
+
+let memo = Hashtbl.create 16
+
+type posting = { mutable occurrences : int; word : string }
+
+type t = {
+  postings : (string, posting) Hashtbl.t;
+  size : int;
+}
+
+let build words =
+  let postings = Hashtbl.create 64 in
+  List.iter
+    (fun w ->
+      match Hashtbl.find_opt postings w with
+      | Some p -> p.occurrences <- p.occurrences + 1
+      | None -> Hashtbl.add postings w { occurrences = 1; word = w })
+    words;
+  ignore (Hashtbl.length memo : int);
+  { postings; size = List.length words }

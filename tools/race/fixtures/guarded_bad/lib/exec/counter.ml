@@ -1,0 +1,20 @@
+(* guarded_ok minus one [Mutex.protect]: [read] touches the guarded
+   field with no lock.  Pins that removing a single guarded access's
+   lock flips the verdict from clean to [unlocked-access]. *)
+
+type t = {
+  m : Mutex.t;
+  mutable count : int;  (* xksrace: guarded_by m *)
+}
+
+let create () = { m = Mutex.create (); count = 0 }
+
+let bump t = Mutex.protect t.m (fun () -> t.count <- t.count + 1)
+
+let read t = t.count
+
+let run t =
+  let d = Domain.spawn (fun () -> bump t) in
+  bump t;
+  Domain.join d;
+  read t

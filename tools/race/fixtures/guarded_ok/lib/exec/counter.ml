@@ -1,0 +1,20 @@
+(* A guarded counter done right: every access to the [guarded_by]
+   field is inside [Mutex.protect] over the named mutex, including the
+   ones reached from a spawned domain.  Must produce no findings. *)
+
+type t = {
+  m : Mutex.t;
+  mutable count : int;  (* xksrace: guarded_by m *)
+}
+
+let create () = { m = Mutex.create (); count = 0 }
+
+let bump t = Mutex.protect t.m (fun () -> t.count <- t.count + 1)
+
+let read t = Mutex.protect t.m (fun () -> t.count)
+
+let run t =
+  let d = Domain.spawn (fun () -> bump t) in
+  bump t;
+  Domain.join d;
+  read t

@@ -1,0 +1,31 @@
+(* Lock-discipline helpers: [drain_locked] assumes the lock
+   ([requires_lock]); [with_lock] provides it ([locks]).  [drain] goes
+   through the wrapper and is clean; [sneak] calls the helper bare and
+   must be flagged [requires-lock].  [peek_unsafe] shows a documented
+   [domain_safe] use-line suppression. *)
+
+type t = {
+  lock : Mutex.t;
+  jobs : int Queue.t;  (* xksrace: guarded_by lock *)
+}
+
+let create () = { lock = Mutex.create (); jobs = Queue.create () }
+
+(* xksrace: requires_lock lock *)
+let drain_locked t =
+  let n = Queue.length t.jobs in
+  Queue.clear t.jobs;
+  n
+
+(* xksrace: locks lock *)
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let drain t = with_lock t (fun () -> drain_locked t)
+
+let sneak t = drain_locked t
+
+let peek_unsafe t =
+  (* xksrace: domain_safe racy diagnostic read, approximate by design *)
+  Queue.length t.jobs
