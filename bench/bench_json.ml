@@ -161,22 +161,8 @@ let throughput_row_json r =
       ("cache_evictions", J.Int r.cache_evictions);
     ]
 
-(* Unlike the figure files this one is written whole — a throughput run
-   always sweeps every jobs value, so there are no panels to merge. *)
-let record_throughput ~dataset ~queries ~distinct ~cache_mb rows =
-  let doc =
-    J.Obj
-      [
-        ("figure", J.String "throughput");
-        ("unit", J.String "qps");
-        ("dataset", J.String dataset);
-        ("queries", J.Int queries);
-        ("distinct", J.Int distinct);
-        ("cache_mb", J.Int cache_mb);
-        ("rows", J.List (List.map throughput_row_json rows));
-      ]
-  in
-  let file = path "throughput" in
+let write_doc figure doc =
+  let file = path figure in
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -184,3 +170,96 @@ let record_throughput ~dataset ~queries ~distinct ~cache_mb rows =
       output_string oc (J.to_string doc);
       output_char oc '\n');
   Printf.printf "# wrote %s\n" file
+
+(* Unlike the figure files this one is written whole — a throughput run
+   always sweeps every jobs value, so there are no panels to merge.
+   [cold] carries the optional cache-less sweep (--no-cache): the same
+   workload with the result cache disabled, so the warm rows' cache win
+   has an explicit denominator. *)
+let record_throughput ~dataset ~queries ~distinct ~cache_mb ?(cold = []) rows =
+  let cold_field =
+    match cold with
+    | [] -> []
+    | _ :: _ -> [ ("cold", J.List (List.map throughput_row_json cold)) ]
+  in
+  write_doc "throughput"
+    (J.Obj
+       ([
+          ("figure", J.String "throughput");
+          ("unit", J.String "qps");
+          ("dataset", J.String dataset);
+          ("queries", J.Int queries);
+          ("distinct", J.Int distinct);
+          ("cache_mb", J.Int cache_mb);
+          ("rows", J.List (List.map throughput_row_json rows));
+        ]
+       @ cold_field))
+
+(* --- BENCH_serving.json: HTTP serving layer under offered load --- *)
+
+type serving_level = {
+  label : string;  (* capacity | below | at | above *)
+  mode : string;  (* "closed" (concurrency-bound) or "open" (rate-bound) *)
+  offered_qps : float;  (* scheduled arrival rate; 0.0 for closed loops *)
+  sent : int;
+  ok : int;  (* 2xx responses *)
+  rejected : int;  (* well-formed 503 sheds *)
+  failed : int;  (* protocol errors, timeouts, malformed rejections *)
+  degraded : int;  (* ok responses carrying a degradation reason *)
+  elapsed_s : float;
+  achieved_qps : float;  (* ok / elapsed_s *)
+  p50_ms : float;  (* latency percentiles over ok responses; open-loop *)
+  p95_ms : float;  (* latencies count from the scheduled arrival, so *)
+  p99_ms : float;  (* generator backlog is charged, not hidden *)
+}
+
+type serving_shutdown = {
+  burst : int;  (* keep-alive connections in flight at shutdown *)
+  completed : int;  (* got a final response + connection: close *)
+  closed : int;  (* cut mid-request at the drain deadline *)
+  sd_failed : int;  (* anything else — must be zero *)
+  exit_ok : bool;  (* server run loop returned and removed its socket *)
+}
+
+let serving_level_json l =
+  J.Obj
+    [
+      ("label", J.String l.label);
+      ("mode", J.String l.mode);
+      ("offered_qps", J.Float l.offered_qps);
+      ("sent", J.Int l.sent);
+      ("ok", J.Int l.ok);
+      ("rejected", J.Int l.rejected);
+      ("failed", J.Int l.failed);
+      ("degraded", J.Int l.degraded);
+      ("elapsed_s", J.Float l.elapsed_s);
+      ("achieved_qps", J.Float l.achieved_qps);
+      ("p50_ms", J.Float l.p50_ms);
+      ("p95_ms", J.Float l.p95_ms);
+      ("p99_ms", J.Float l.p99_ms);
+    ]
+
+let record_serving ~dataset ~workers ~queue ~deadline_ms ~capacity_qps
+    ~latency_bound_ms ~levels ~shutdown:sd =
+  write_doc "serving"
+    (J.Obj
+       [
+         ("figure", J.String "serving");
+         ("unit", J.String "qps");
+         ("dataset", J.String dataset);
+         ("workers", J.Int workers);
+         ("queue", J.Int queue);
+         ("deadline_ms", J.Int deadline_ms);
+         ("capacity_qps", J.Float capacity_qps);
+         ("latency_bound_ms", J.Float latency_bound_ms);
+         ("levels", J.List (List.map serving_level_json levels));
+         ( "shutdown",
+           J.Obj
+             [
+               ("burst", J.Int sd.burst);
+               ("completed", J.Int sd.completed);
+               ("closed", J.Int sd.closed);
+               ("failed", J.Int sd.sd_failed);
+               ("exit_ok", J.Bool sd.exit_ok);
+             ] );
+       ])

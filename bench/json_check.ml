@@ -72,14 +72,11 @@ let check_figure path figure doc =
 
 (* --- throughput: one row per jobs value over a shared workload --- *)
 
-let check_throughput path doc =
-  ignore (get "dataset" (Option.bind (J.member "dataset" doc) J.to_str) : string);
-  let total =
-    get "queries" (Option.bind (J.member "queries" doc) J.to_int)
-  in
-  if total < 1 then fail "%s: empty workload" path;
-  let rows = get "rows" (Option.bind (J.member "rows" doc) J.to_list) in
-  if rows = [] then fail "%s: no rows" path;
+(* Shared between the warm rows and the optional cold (cache-off)
+   section; both must carry a jobs=1 baseline their speedup column is
+   derived from. *)
+let check_throughput_rows path section rows =
+  if rows = [] then fail "%s: no %s rows" path section;
   let parsed =
     List.map
       (fun row ->
@@ -87,31 +84,145 @@ let check_throughput path doc =
         let int k = get k (Option.bind (J.member k row) J.to_int) in
         let jobs = int "jobs" in
         let qps = num "qps" in
-        if jobs < 1 then fail "%s: jobs < 1" path;
+        if jobs < 1 then fail "%s/%s: jobs < 1" path section;
         if num "elapsed_ms" <= 0.0 || qps <= 0.0 then
-          fail "%s: non-positive timing at jobs=%d" path jobs;
+          fail "%s/%s: non-positive timing at jobs=%d" path section jobs;
         List.iter
-          (fun k -> if int k < 0 then fail "%s: negative %s" path k)
+          (fun k -> if int k < 0 then fail "%s/%s: negative %s" path section k)
           [ "cache_hits"; "cache_misses"; "cache_evictions" ];
-        (jobs, qps, num "speedup"))
+        (jobs, qps, num "speedup", int "cache_hits" + int "cache_misses"))
       rows
   in
-  let jobs_seen = List.map (fun (j, _, _) -> j) parsed in
+  let jobs_seen = List.map (fun (j, _, _, _) -> j) parsed in
   if List.length (List.sort_uniq Int.compare jobs_seen) <> List.length jobs_seen
-  then fail "%s: duplicate jobs rows" path;
+  then fail "%s/%s: duplicate jobs rows" path section;
   let base_qps =
-    match List.find_opt (fun (j, _, _) -> j = 1) parsed with
-    | Some (_, qps, _) -> qps
-    | None -> fail "%s: no jobs=1 baseline row" path
+    match List.find_opt (fun (j, _, _, _) -> j = 1) parsed with
+    | Some (_, qps, _, _) -> qps
+    | None -> fail "%s/%s: no jobs=1 baseline row" path section
   in
   (* The speedup column must be derived from the qps column. *)
   List.iter
-    (fun (jobs, qps, speedup) ->
+    (fun (jobs, qps, speedup, _) ->
       let expect = qps /. base_qps in
       if Float.abs (speedup -. expect) > 0.001 *. expect then
-        fail "%s: speedup %.3f at jobs=%d inconsistent with qps (expected %.3f)"
-          path speedup jobs expect)
+        fail
+          "%s/%s: speedup %.3f at jobs=%d inconsistent with qps (expected \
+           %.3f)"
+          path section speedup jobs expect)
     parsed;
+  parsed
+
+let check_throughput path doc =
+  ignore (get "dataset" (Option.bind (J.member "dataset" doc) J.to_str) : string);
+  let total =
+    get "queries" (Option.bind (J.member "queries" doc) J.to_int)
+  in
+  if total < 1 then fail "%s: empty workload" path;
+  let rows = get "rows" (Option.bind (J.member "rows" doc) J.to_list) in
+  let parsed = check_throughput_rows path "rows" rows in
+  let cold_count =
+    match J.member "cold" doc with
+    | None -> 0
+    | Some cold ->
+        let cold_rows = get "cold rows" (J.to_list cold) in
+        let cold_parsed = check_throughput_rows path "cold" cold_rows in
+        (* The cold section is the cache-off sweep: any cache traffic
+           there means the flag did not reach the execution layer. *)
+        List.iter
+          (fun (jobs, _, _, cache_lookups) ->
+            if cache_lookups <> 0 then
+              fail "%s/cold: cache traffic at jobs=%d in a cache-off sweep"
+                path jobs)
+          cold_parsed;
+        List.length cold_parsed
+  in
+  List.length parsed + cold_count
+
+(* --- serving: the overload contract of the HTTP layer --- *)
+
+let check_serving path doc =
+  let int k = get k (Option.bind (J.member k doc) J.to_int) in
+  let num k = get k (Option.bind (J.member k doc) J.to_float) in
+  if int "workers" < 1 then fail "%s: workers < 1" path;
+  if int "queue" < 0 then fail "%s: queue < 0" path;
+  let capacity_qps = num "capacity_qps" in
+  if capacity_qps <= 0.0 then fail "%s: non-positive capacity_qps" path;
+  let latency_bound_ms = num "latency_bound_ms" in
+  if latency_bound_ms <= 0.0 then fail "%s: non-positive latency bound" path;
+  let levels = get "levels" (Option.bind (J.member "levels" doc) J.to_list) in
+  if levels = [] then fail "%s: no levels" path;
+  let parsed =
+    List.map
+      (fun level ->
+        let str k = get k (Option.bind (J.member k level) J.to_str) in
+        let int k = get k (Option.bind (J.member k level) J.to_int) in
+        let num k = get k (Option.bind (J.member k level) J.to_float) in
+        let label = str "label" in
+        (match str "mode" with
+        | "open" | "closed" -> ()
+        | m -> fail "%s/%s: unknown mode %S" path label m);
+        let sent = int "sent" in
+        let ok = int "ok" in
+        let rejected = int "rejected" in
+        let failed = int "failed" in
+        List.iter
+          (fun k -> if int k < 0 then fail "%s/%s: negative %s" path label k)
+          [ "sent"; "ok"; "rejected"; "failed"; "degraded" ];
+        (* Every request is accounted for, and none was lost to a
+           protocol error or a malformed rejection. *)
+        if sent <> ok + rejected + failed then
+          fail "%s/%s: sent %d <> ok %d + rejected %d + failed %d" path label
+            sent ok rejected failed;
+        if failed > 0 then fail "%s/%s: %d failed requests" path label failed;
+        if ok < 1 then fail "%s/%s: no successful requests" path label;
+        let p50 = num "p50_ms" and p95 = num "p95_ms" and p99 = num "p99_ms" in
+        if p50 < 0.0 then fail "%s/%s: negative latency" path label;
+        if p50 > p95 || p95 > p99 then
+          fail "%s/%s: percentiles not monotone (%.2f/%.2f/%.2f)" path label
+            p50 p95 p99;
+        (label, sent, rejected, p99))
+      levels
+  in
+  let labels = List.map (fun (l, _, _, _) -> l) parsed in
+  if List.length (List.sort_uniq String.compare labels) <> List.length labels
+  then fail "%s: duplicate level labels" path;
+  let find label =
+    match List.find_opt (fun (l, _, _, _) -> l = label) parsed with
+    | Some lv -> lv
+    | None -> fail "%s: missing %S level" path label
+  in
+  (* Below capacity the server must admit essentially everything... *)
+  let _, below_sent, below_rejected, _ = find "below" in
+  if below_rejected * 20 > below_sent then
+    fail "%s/below: %d of %d shed below capacity" path below_rejected
+      below_sent;
+  ignore (find "at");
+  (* ...and above it, shed with 503s while accepted requests stay inside
+     the deadline-derived latency bound — overload must show up as
+     rejection, not as unbounded queueing. *)
+  let _, _, above_rejected, above_p99 = find "above" in
+  if above_rejected < 1 then
+    fail "%s/above: overload produced no 503 shedding" path;
+  if above_p99 > latency_bound_ms then
+    fail "%s/above: accepted p99 %.1f ms exceeds bound %.1f ms" path
+      above_p99 latency_bound_ms;
+  let sd = get "shutdown" (J.member "shutdown" doc) in
+  let sd_int k = get k (Option.bind (J.member k sd) J.to_int) in
+  let burst = sd_int "burst" in
+  let completed = sd_int "completed" in
+  let closed = sd_int "closed" in
+  if burst < 1 then fail "%s/shutdown: empty burst" path;
+  if sd_int "failed" > 0 then
+    fail "%s/shutdown: %d clients lost a request" path (sd_int "failed");
+  if completed + closed <> burst then
+    fail "%s/shutdown: completed %d + closed %d <> burst %d" path completed
+      closed burst;
+  (match J.member "exit_ok" sd with
+  | Some (J.Bool true) -> ()
+  | Some (J.Bool false | J.Null | J.Int _ | J.Float _ | J.String _ | J.List _ | J.Obj _)
+  | None ->
+      fail "%s/shutdown: server did not exit cleanly" path);
   List.length parsed
 
 let () =
@@ -128,6 +239,7 @@ let () =
   let rows_checked =
     match figure with
     | "throughput" -> check_throughput path doc
+    | "serving" -> check_serving path doc
     | "fig5" | "fig6" -> check_figure path figure doc
     | f -> fail "unknown figure %S" f
   in

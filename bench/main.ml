@@ -427,8 +427,17 @@ let throughput_cmd =
       & info [ "cache-mb" ] ~docv:"MB"
           ~doc:"Result-cache size for the jobs > 1 rows.")
   in
-  let run () jobs queries distinct cache_mb =
-    Xks_bench.Throughput.run ~jobs_list:jobs ~queries ~distinct ~cache_mb ()
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Also sweep the cold path (result cache disabled) and emit it \
+             as the artifact's cold section.")
+  in
+  let run () jobs queries distinct cache_mb cold =
+    Xks_bench.Throughput.run ~jobs_list:jobs ~queries ~distinct ~cache_mb
+      ~cold ()
   in
   Cmd.v
     (Cmd.info "throughput"
@@ -436,7 +445,62 @@ let throughput_cmd =
          "Batch-execution throughput sweep (BENCH_throughput.json): the \
           same zipf-repeat workload through the sequential path and \
           through Exec.search_batch at each worker count.")
-    Term.(const run $ scale_args $ jobs $ queries $ distinct $ cache_mb)
+    Term.(
+      const run $ scale_args $ jobs $ queries $ distinct $ cache_mb
+      $ no_cache)
+
+let serving_cmd =
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N" ~doc:"Server worker pool size.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue depth (default 2x workers).")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request budget deadline (0 disables).")
+  in
+  let duration_s =
+    Arg.(
+      value & opt float 1.0
+      & info [ "duration-s" ] ~docv:"S" ~doc:"Seconds per load level.")
+  in
+  let level_cap =
+    Arg.(
+      value & opt int 2000
+      & info [ "level-cap" ] ~docv:"N"
+          ~doc:"Cap on requests per open-loop level.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path (default: a fresh path in TMPDIR).")
+  in
+  let run () workers queue deadline_ms duration_s level_cap socket =
+    Xks_bench.Loadgen.run ~workers ?queue ~deadline_ms ~duration_s
+      ~level_cap ?socket ()
+  in
+  Cmd.v
+    (Cmd.info "serving"
+       ~doc:
+         "Serving-layer load benchmark (BENCH_serving.json): start an \
+          in-process HTTP server over a Unix socket, measure closed-loop \
+          capacity, drive open-loop load below/at capacity and a pinned \
+          overload above it, then shut down gracefully under a keep-alive \
+          burst.")
+    Term.(
+      const run $ scale_args $ workers $ queue $ deadline_ms $ duration_s
+      $ level_cap $ socket)
 
 let run_all () =
   List.iter
@@ -473,5 +537,5 @@ let () =
           [
             fig5_cmd; fig6_cmd; ablation_cid_cmd; ablation_lca_cmd;
             ablation_slca_cmd; ablation_gdmct_cmd; random_cmd; bechamel_cmd;
-            throughput_cmd; all_cmd;
+            throughput_cmd; serving_cmd; all_cmd;
           ]))

@@ -40,7 +40,7 @@ let zipf_workload ~seed ~queries pool_queries =
   build queries []
 
 let run ?(jobs_list = [ 1; 2; 4; 8 ]) ?(queries = 400) ?(distinct = 40)
-    ?(cache_mb = 32) () =
+    ?(cache_mb = 32) ?(cold = false) () =
   let dataset = Datasets.find "dblp" in
   let engine = Runner.load dataset in
   let pool_queries =
@@ -54,7 +54,7 @@ let run ?(jobs_list = [ 1; 2; 4; 8 ]) ?(queries = 400) ?(distinct = 40)
   Array.iter
     (fun ws -> ignore (Engine.search engine ws : Engine.hit list))
     pool_queries;
-  let time_row jobs =
+  let time_row ~use_cache jobs =
     if jobs = 1 then
       let elapsed_ms, () =
         Runner.time_ms (fun () ->
@@ -72,47 +72,80 @@ let run ?(jobs_list = [ 1; 2; 4; 8 ]) ?(queries = 400) ?(distinct = 40)
         cache_evictions = 0;
       }
     else
-      let cache = Cache.create ~max_bytes:(cache_mb * 1024 * 1024) () in
+      let cache =
+        if use_cache then
+          Some (Cache.create ~max_bytes:(cache_mb * 1024 * 1024) ())
+        else None
+      in
       Pool.with_pool ~size:jobs (fun pool ->
           let elapsed_ms, _ =
             Runner.time_ms (fun () ->
-                Exec.search_batch ~pool ~cache engine workload)
+                Exec.search_batch ~pool ?cache engine workload)
           in
-          let s = Cache.stats cache in
+          let hits, misses, evictions =
+            match cache with
+            | None -> (0, 0, 0)
+            | Some c ->
+                let s = Cache.stats c in
+                (s.Cache.hits, s.Cache.misses, s.Cache.evictions)
+          in
           {
             Bench_json.jobs;
             elapsed_ms;
             qps = float_of_int queries /. (elapsed_ms /. 1000.0);
             speedup = 1.0;
-            cache_hits = s.Cache.hits;
-            cache_misses = s.Cache.misses;
-            cache_evictions = s.Cache.evictions;
+            cache_hits = hits;
+            cache_misses = misses;
+            cache_evictions = evictions;
           })
   in
-  let rows = List.map time_row jobs_list in
-  let base_qps =
-    match List.find_opt (fun r -> r.Bench_json.jobs = 1) rows with
-    | Some r -> r.Bench_json.qps
-    | None -> (
-        match rows with
-        | r :: _ -> r.Bench_json.qps
-        | [] -> invalid_arg "Throughput.run: empty jobs list")
-  in
-  let rows =
+  (* Each sweep is normalized against its own jobs = 1 row, so the warm
+     and cold speedup columns stay comparable. *)
+  let normalize rows =
+    let base_qps =
+      match List.find_opt (fun r -> r.Bench_json.jobs = 1) rows with
+      | Some r -> r.Bench_json.qps
+      | None -> (
+          match rows with
+          | r :: _ -> r.Bench_json.qps
+          | [] -> invalid_arg "Throughput.run: empty jobs list")
+    in
     List.map
       (fun r -> { r with Bench_json.speedup = r.Bench_json.qps /. base_qps })
       rows
   in
-  Printf.printf
-    "\n## Throughput (%s): %d queries, %d distinct, zipf repeats, cache %d MB\n"
-    dataset.Datasets.name queries distinct cache_mb;
-  Printf.printf "%6s %12s %10s %8s %10s %10s %10s\n" "jobs" "elapsed(ms)"
-    "qps" "speedup" "hits" "misses" "evicted";
-  List.iter
-    (fun (r : Bench_json.throughput_row) ->
-      Printf.printf "%6d %12.1f %10.1f %7.2fx %10d %10d %10d\n" r.jobs
-        r.elapsed_ms r.qps r.speedup r.cache_hits r.cache_misses
-        r.cache_evictions)
+  let print_table title rows =
+    print_endline title;
+    Printf.printf "%6s %12s %10s %8s %10s %10s %10s\n" "jobs" "elapsed(ms)"
+      "qps" "speedup" "hits" "misses" "evicted";
+    List.iter
+      (fun (r : Bench_json.throughput_row) ->
+        Printf.printf "%6d %12.1f %10.1f %7.2fx %10d %10d %10d\n" r.jobs
+          r.elapsed_ms r.qps r.speedup r.cache_hits r.cache_misses
+          r.cache_evictions)
+      rows
+  in
+  let rows = normalize (List.map (time_row ~use_cache:true) jobs_list) in
+  print_table
+    (Printf.sprintf
+       "\n\
+        ## Throughput (%s): %d queries, %d distinct, zipf repeats, cache %d \
+        MB"
+       dataset.Datasets.name queries distinct cache_mb)
     rows;
+  let cold_rows =
+    if not cold then []
+    else begin
+      let cold_rows =
+        normalize (List.map (time_row ~use_cache:false) jobs_list)
+      in
+      print_table
+        (Printf.sprintf
+           "\n## Throughput cold path (%s): same workload, result cache off"
+           dataset.Datasets.name)
+        cold_rows;
+      cold_rows
+    end
+  in
   Bench_json.record_throughput ~dataset:dataset.Datasets.name ~queries
-    ~distinct ~cache_mb rows
+    ~distinct ~cache_mb ~cold:cold_rows rows

@@ -7,15 +7,18 @@
      gen      emit a synthetic DBLP-like or XMark-like corpus
      index    build and persist an inverted index
      sql      keyword lookup through the relational path
+     serve    overload-safe HTTP search over a Unix-domain socket
 
    Exit codes (also in the man pages): 2 = XML parse error, 3 =
-   ingestion limit or query budget error, 4 = corrupt index file. *)
+   ingestion limit or query budget error, 4 = corrupt index file,
+   5 = serving-socket setup failure. *)
 
 open Cmdliner
 
 let exit_parse_error = 2
 let exit_limit_error = 3
 let exit_corrupt_index = 4
+let exit_socket_error = 5
 
 let exits =
   Cmd.Exit.info exit_parse_error ~doc:"on a malformed XML document."
@@ -25,6 +28,8 @@ let exits =
           a query budget is exceeded."
   :: Cmd.Exit.info exit_corrupt_index
        ~doc:"on a corrupt, truncated or unreadable index file."
+  :: Cmd.Exit.info exit_socket_error
+       ~doc:"when the serving socket cannot be set up."
   :: Cmd.Exit.defaults
 
 let die code msg =
@@ -579,6 +584,165 @@ let sql_cmd =
           path, as the paper's platform does.")
     Term.(const run $ file_arg $ keyword)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket to serve on.  A stale socket file left by \
+             a previous run is replaced; any other file at $(docv) is an \
+             error (exit code 5).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains = in-flight request budget (default: one per \
+             available core).")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admitted connections allowed to wait for a worker (default \
+             2×workers).  Connections beyond workers+queue are shed with \
+             503 + Retry-After — the server never buffers unboundedly.")
+  in
+  let timeout_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request budget deadline; slow queries degrade down the \
+             algorithm ladder and the response is tagged. 0 disables.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:"Per-request visited-node budget.")
+  in
+  let idle_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "idle-ms" ] ~docv:"MS"
+          ~doc:"Keep-alive idle timeout awaiting a request's first byte.")
+  in
+  let read_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "read-ms" ] ~docv:"MS"
+          ~doc:"Total timeout for reading one request.")
+  in
+  let write_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "write-ms" ] ~docv:"MS"
+          ~doc:"Timeout for writing one response.")
+  in
+  let drain_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "Graceful-shutdown drain budget: on SIGTERM/SIGINT the server \
+             stops accepting and waits this long for in-flight connections \
+             before cutting them.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 8
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"Result-cache budget (0 disables caching).")
+  in
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Xks_core.Engine.Validrtf
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:"Default algorithm (per-request override via ?algorithm=).")
+  in
+  let index_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"IDX"
+          ~doc:"Serve from a persisted index instead of re-indexing.")
+  in
+  let repair =
+    Arg.(
+      value & flag
+      & info [ "repair" ]
+          ~doc:"With $(b,--index): rebuild on corruption instead of failing.")
+  in
+  let run file socket workers queue timeout_ms max_nodes idle_ms read_ms
+      write_ms drain_ms cache_mb algorithm index_path repair =
+    if workers < 0 then die Cmd.Exit.cli_error "xks: --workers must be >= 0";
+    if timeout_ms < 0 then
+      die Cmd.Exit.cli_error "xks: --timeout-ms must be non-negative";
+    (match queue with
+    | Some q when q < 0 ->
+        die Cmd.Exit.cli_error "xks: --queue must be non-negative"
+    | _ -> ());
+    let engine =
+      match index_path with
+      | Some idx_path -> engine_of_index ~repair idx_path file
+      | None -> engine_of_file file
+    in
+    let workers =
+      if workers > 0 then workers else Xks_exec.Pool.default_size ()
+    in
+    let queue = match queue with Some q -> q | None -> 2 * workers in
+    let cfg =
+      {
+        (Xks_serve.Server.default_config ~socket_path:socket ()) with
+        workers;
+        queue;
+        deadline_ms = (if timeout_ms > 0 then Some timeout_ms else None);
+        max_nodes;
+        idle_timeout_ms = idle_ms;
+        read_timeout_ms = read_ms;
+        write_timeout_ms = write_ms;
+        drain_timeout_ms = drain_ms;
+        cache_mb;
+        algorithm;
+        log = prerr_endline;
+      }
+    in
+    let srv =
+      try Xks_serve.Server.create cfg engine with
+      | Unix.Unix_error (err, _, _) ->
+          die exit_socket_error
+            (Printf.sprintf "xks: cannot bind %s: %s" socket
+               (Unix.error_message err))
+      | Failure msg -> die exit_socket_error ("xks: " ^ msg)
+    in
+    let stop _ = Xks_serve.Server.request_shutdown srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Printf.eprintf "xks: serving %s on %s (workers=%d queue=%d)\n%!" file
+      socket workers queue;
+    Xks_serve.Server.run srv
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Serve keyword search over a Unix-domain socket with bounded \
+          admission, per-request budgets and graceful shutdown on \
+          SIGTERM/SIGINT.")
+    Term.(
+      const run $ file_arg $ socket $ workers $ queue $ timeout_ms $ max_nodes
+      $ idle_ms $ read_ms $ write_ms $ drain_ms $ cache_mb $ algorithm
+      $ index_path $ repair)
+
 (* Escaped exceptions must never reach the user as raw backtraces: map
    the structured ones to their documented exit codes, anything else to
    cmdliner's internal-error code. *)
@@ -587,7 +751,10 @@ let () =
   let info = Cmd.info "xks" ~version:"1.0.0" ~doc ~exits in
   let group =
     Cmd.group info
-      [ search_cmd; stats_cmd; shred_cmd; gen_cmd; index_cmd; sql_cmd ]
+      [
+        search_cmd; stats_cmd; shred_cmd; gen_cmd; index_cmd; sql_cmd;
+        serve_cmd;
+      ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code

@@ -69,11 +69,13 @@ let create ?size () =
 
 let size p = p.size
 
+exception Pool_closed
+
 let submit p job =
   Mutex.lock p.mutex;
   if p.stop then begin
     Mutex.unlock p.mutex;
-    invalid_arg "Pool.submit: pool is shut down"
+    raise Pool_closed
   end;
   Queue.add job p.work;
   Condition.signal p.wake;
@@ -118,17 +120,26 @@ let run_all p thunks =
       | None -> assert false (* remaining = 0 ⇒ every slot was written *))
     results
 
+(* Exactly one caller wins the [stop] flip and joins the workers; every
+   concurrent or later caller sees [already = true] and gets the same
+   deterministic [Pool_closed] that [submit] raises — racing shutdowns
+   used to return silently whether or not the workers were joined yet,
+   which let a "successful" second shutdown overlap a pool still
+   draining. *)
 let shutdown p =
   Mutex.lock p.mutex;
   let already = p.stop in
   p.stop <- true;
   Condition.broadcast p.wake;
   Mutex.unlock p.mutex;
-  if not already then begin
-    List.iter Domain.join p.workers;
-    p.workers <- []
-  end
+  if already then raise Pool_closed;
+  List.iter Domain.join p.workers;
+  p.workers <- []
 
 let with_pool ?size f =
   let p = create ?size () in
-  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+  Fun.protect
+    ~finally:(fun () ->
+      (* tolerate [f] having shut the pool down itself *)
+      match shutdown p with () -> () | exception Pool_closed -> ())
+    (fun () -> f p)

@@ -19,12 +19,17 @@ val create : ?size:int -> unit -> t
 val size : t -> int
 (** Number of worker domains. *)
 
+exception Pool_closed
+(** Raised deterministically by {!submit}, {!run_all} and {!shutdown}
+    itself once the pool has been shut down — the caller always learns
+    it lost the race, instead of the outcome depending on queue state. *)
+
 val submit : t -> (unit -> unit) -> unit
 (** Enqueue one fire-and-forget job.  Jobs run in FIFO submission order
     (across however many workers are free) and must not raise — an
     escaping exception kills its worker.  Prefer {!run_all}, which
     captures results and exceptions.
-    @raise Invalid_argument on a pool that was {!shutdown}. *)
+    @raise Pool_closed on a pool that was {!shutdown}. *)
 
 exception Task_error of exn
 (** Wraps the first exception a {!run_all} task raised. *)
@@ -38,8 +43,11 @@ val run_all : t -> (unit -> 'a) list -> 'a array
     batch could wait on jobs queued behind its own caller. *)
 
 val shutdown : t -> unit
-(** Drain already-queued jobs, then join every worker.  Idempotent;
-    subsequent {!submit}/{!run_all} calls are rejected. *)
+(** Drain already-queued jobs, then join every worker.  Exactly one
+    caller (under concurrency, the first to take the pool lock) performs
+    the join and returns; every other and every later call raises
+    {!Pool_closed}, as do subsequent {!submit}/{!run_all} calls.
+    @raise Pool_closed when the pool was already shut down. *)
 
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down on exit

@@ -21,6 +21,11 @@ type counter =
   | Cache_hits
   | Cache_misses
   | Cache_evictions
+  | Requests_accepted
+  | Requests_served
+  | Requests_rejected
+  | Requests_timed_out
+  | Requests_aborted
 
 let counter_index = function
   | Postings_scanned -> 0
@@ -34,14 +39,21 @@ let counter_index = function
   | Cache_hits -> 8
   | Cache_misses -> 9
   | Cache_evictions -> 10
+  | Requests_accepted -> 11
+  | Requests_served -> 12
+  | Requests_rejected -> 13
+  | Requests_timed_out -> 14
+  | Requests_aborted -> 15
 
-let n_counters = 11
+let n_counters = 16
 
 let all_counters =
   [
     Postings_scanned; Nodes_visited; Elca_pushed; Elca_popped;
     Frag_nodes_kept; Frag_nodes_pruned; Budget_ticks; Degradations;
-    Cache_hits; Cache_misses; Cache_evictions;
+    Cache_hits; Cache_misses; Cache_evictions; Requests_accepted;
+    Requests_served; Requests_rejected; Requests_timed_out;
+    Requests_aborted;
   ]
 
 let counter_name = function
@@ -56,6 +68,11 @@ let counter_name = function
   | Cache_hits -> "cache_hits"
   | Cache_misses -> "cache_misses"
   | Cache_evictions -> "cache_evictions"
+  | Requests_accepted -> "requests_accepted"
+  | Requests_served -> "requests_served"
+  | Requests_rejected -> "requests_rejected"
+  | Requests_timed_out -> "requests_timed_out"
+  | Requests_aborted -> "requests_aborted"
 
 type span = { label : string; depth : int; seq : int; ms : float }
 

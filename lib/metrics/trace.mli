@@ -37,6 +37,11 @@ type counter =
   | Cache_hits  (** {!Xks_exec} result-cache lookups answered *)
   | Cache_misses  (** result-cache lookups that ran the pipeline *)
   | Cache_evictions  (** result-cache entries evicted by LRU pressure *)
+  | Requests_accepted  (** connections admitted by {!Xks_serve} *)
+  | Requests_served  (** HTTP responses completed (any status) *)
+  | Requests_rejected  (** connections shed with 503 at admission *)
+  | Requests_timed_out  (** connections closed by a read/write timeout *)
+  | Requests_aborted  (** in-flight connections cut at the drain deadline *)
 
 val all_counters : counter list
 val counter_name : counter -> string

@@ -1,0 +1,75 @@
+(* Bounded admission for the serving layer: one CAS-guarded counter of
+   outstanding (admitted but not yet finished) connections, capped at
+   [workers + queue].  The gate is the *only* buffering the server has —
+   a connection that cannot be admitted is rejected immediately (503 at
+   the HTTP layer), never parked in an unbounded accept backlog.
+
+   The counter is a single [Atomic.t] so the accept loop never takes a
+   lock: [try_admit] is a compare-and-set loop, [release] an atomic
+   decrement.  Totals are plain atomic counters for the stats line. *)
+
+type t = {
+  workers : int;
+  queue : int;
+  outstanding : int Atomic.t;
+  admitted_total : int Atomic.t;
+  rejected_total : int Atomic.t;
+}
+
+type decision = Admitted | Rejected of { outstanding : int; capacity : int }
+
+let create ~workers ~queue =
+  if workers < 1 then invalid_arg "Admission.create: workers must be >= 1";
+  if queue < 0 then invalid_arg "Admission.create: queue must be >= 0";
+  {
+    workers;
+    queue;
+    outstanding = Atomic.make 0;
+    admitted_total = Atomic.make 0;
+    rejected_total = Atomic.make 0;
+  }
+
+let capacity t = t.workers + t.queue
+
+let try_admit t =
+  let cap = capacity t in
+  let rec loop () =
+    let n = Atomic.get t.outstanding in
+    if n >= cap then begin
+      Atomic.incr t.rejected_total;
+      Rejected { outstanding = n; capacity = cap }
+    end
+    else if Atomic.compare_and_set t.outstanding n (n + 1) then begin
+      Atomic.incr t.admitted_total;
+      Admitted
+    end
+    else loop ()
+  in
+  loop ()
+
+let release t =
+  let n = Atomic.fetch_and_add t.outstanding (-1) in
+  if n <= 0 then begin
+    (* restore before failing so a buggy double-release in a test does
+       not wedge the gate for everyone else *)
+    Atomic.incr t.outstanding;
+    invalid_arg "Admission.release: no outstanding admission"
+  end
+
+let outstanding t = Atomic.get t.outstanding
+let admitted_total t = Atomic.get t.admitted_total
+let rejected_total t = Atomic.get t.rejected_total
+
+(* The rejection rendered in PR 1's positioned-cap idiom: admission is a
+   limit like [max_depth], except the "position" is the gate itself.
+   Callers get the same exception constructor and the same
+   [Limits.error_to_string] rendering as every other cap. *)
+let to_error ~outstanding:value t =
+  Limits.Limit_exceeded
+    {
+      line = 0;
+      col = 0;
+      limit = "admission_outstanding";
+      value;
+      max = capacity t;
+    }

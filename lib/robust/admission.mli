@@ -1,0 +1,46 @@
+(** Bounded admission control for {!Xks_serve}: a lock-free gate that
+    caps the number of outstanding (admitted but not yet finished)
+    connections at [workers + queue].
+
+    The gate is the server's only buffer.  [workers] models the pool's
+    in-flight budget and [queue] the connections allowed to wait for a
+    worker; once [outstanding] reaches the sum, {!try_admit} rejects and
+    the accept loop sheds the connection with a 503 — overload never
+    turns into unbounded queueing.  All state is {!Atomic}, so the
+    accept loop and the worker domains never contend on a lock. *)
+
+type t
+
+type decision =
+  | Admitted
+  | Rejected of { outstanding : int; capacity : int }
+      (** the observed count and the cap it crossed, for the 503 body *)
+
+val create : workers:int -> queue:int -> t
+(** A fresh gate with capacity [workers + queue].
+    @raise Invalid_argument when [workers < 1] or [queue < 0]. *)
+
+val capacity : t -> int
+(** [workers + queue]. *)
+
+val try_admit : t -> decision
+(** Claim one admission slot (CAS loop; succeeds or rejects, never
+    blocks).  Every [Admitted] must be paired with exactly one
+    {!release} when the connection finishes. *)
+
+val release : t -> unit
+(** Return an admission slot.
+    @raise Invalid_argument on release without a matching admit. *)
+
+val outstanding : t -> int
+(** Currently admitted, not yet released. *)
+
+val admitted_total : t -> int
+val rejected_total : t -> int
+(** Monotonic totals since {!create}. *)
+
+val to_error : outstanding:int -> t -> exn
+(** The rejection as a positioned {!Limits.Limit_exceeded} (limit
+    ["admission_outstanding"], position 0:0 — the gate has no input
+    position), so 503 bodies render through the same
+    {!Limits.error_to_string} channel as every other cap. *)

@@ -7,8 +7,9 @@
     asserts the system degrades instead of crashing.  With no action
     enabled the passthrough costs one hashtable probe.
 
-    Sites in this codebase: ["persist.read"] (index file bytes) and
-    ["sax.read"] (XML file bytes).
+    Sites in this codebase: ["persist.read"] (index file bytes),
+    ["sax.read"] (XML file bytes) and ["serve.read"] (HTTP socket read
+    chunks, {!Xks_serve.Server.read_site}).
 
     The registry is global mutable state — tests using it must not run
     failpoint cases concurrently; {!with_failpoint} scopes an action and

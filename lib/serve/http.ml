@@ -1,0 +1,252 @@
+(* Incremental HTTP/1.1 request parsing and response serialization —
+   dependency-free, over plain strings.
+
+   The reader accumulates raw bytes ([feed]) and yields at most one
+   complete request per [next] call, so pipelined requests and torn
+   reads (a request split across arbitrary [read] boundaries) both fall
+   out of the same code path.  Every dimension of the head is capped
+   with a positioned {!Xks_robust.Limits.Limit_exceeded} (PR 1's cap
+   idiom): caps are enforced even while the head is still incomplete —
+   a request line that never ends cannot grow the buffer past its cap.
+
+   Deliberately out of scope (rejected as [Bad_request], never
+   half-handled): chunked transfer encoding, HTTP/2, multiline header
+   continuations, and protocol versions other than 1.0/1.1. *)
+
+module Limits = Xks_robust.Limits
+
+type limits = {
+  max_request_line_bytes : int;
+  max_header_bytes : int;
+  max_headers : int;
+  max_body_bytes : int;
+}
+
+let default_limits =
+  {
+    max_request_line_bytes = 8192;
+    max_header_bytes = 32768;
+    max_headers = 128;
+    max_body_bytes = 65536;
+  }
+
+exception Bad_request of string
+
+type request = {
+  meth : string;
+  target : string;
+  path : string;
+  params : (string * string) list;
+  version : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+type reader = { limits : limits; mutable pending : string }
+
+let reader limits = { limits; pending = "" }
+let feed r s = if s <> "" then r.pending <- r.pending ^ s
+let pending_bytes r = String.length r.pending
+
+let header req name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+(* --- percent decoding --- *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Bad_request "malformed percent-encoding")
+
+let percent_decode ~plus_is_space s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' ->
+        if !i + 2 >= n then raise (Bad_request "malformed percent-encoding");
+        Buffer.add_char b
+          (Char.chr ((hex_val s.[!i + 1] lsl 4) lor hex_val s.[!i + 2]));
+        i := !i + 2
+    | '+' when plus_is_space -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query qs =
+  String.split_on_char '&' qs
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun kv ->
+         match String.index_opt kv '=' with
+         | None -> (percent_decode ~plus_is_space:true kv, "")
+         | Some i ->
+             ( percent_decode ~plus_is_space:true (String.sub kv 0 i),
+               percent_decode ~plus_is_space:true
+                 (String.sub kv (i + 1) (String.length kv - i - 1)) ))
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (percent_decode ~plus_is_space:false target, [])
+  | Some i ->
+      ( percent_decode ~plus_is_space:false (String.sub target 0 i),
+        parse_query (String.sub target (i + 1) (String.length target - i - 1))
+      )
+
+(* --- incremental head parsing --- *)
+
+(* A line ends at '\n'; a trailing '\r' is stripped, so CRLF and bare
+   LF are both accepted (robustness over strictness for the line
+   terminator only). *)
+let next_line s pos =
+  match String.index_from_opt s pos '\n' with
+  | None -> None
+  | Some nl ->
+      let stop = if nl > pos && s.[nl - 1] = '\r' then nl - 1 else nl in
+      Some (String.sub s pos (stop - pos), nl + 1)
+
+let parse_request_line line =
+  match List.filter (fun t -> t <> "") (String.split_on_char ' ' line) with
+  | [ m; t; "HTTP/1.1" ] -> (m, t, 1)
+  | [ m; t; "HTTP/1.0" ] -> (m, t, 0)
+  | [ _; _; v ] -> raise (Bad_request ("unsupported protocol: " ^ v))
+  | _ -> raise (Bad_request "malformed request line")
+
+let next r =
+  let s = r.pending in
+  let len = String.length s in
+  let lim = r.limits in
+  (* Tolerate blank line(s) between pipelined requests. *)
+  let rec skip_blank pos =
+    match next_line s pos with Some ("", p) -> skip_blank p | _ -> pos
+  in
+  let start = skip_blank 0 in
+  let keep_tail () =
+    if start > 0 then r.pending <- String.sub s start (len - start)
+  in
+  if start >= len then begin
+    r.pending <- "";
+    None
+  end
+  else
+    match next_line s start with
+    | None ->
+        (* Unterminated request line: the cap applies to the bytes
+           already buffered, or a hostile client could grow the buffer
+           forever one byte at a time. *)
+        let sofar = len - start in
+        if sofar > lim.max_request_line_bytes then
+          Limits.exceeded ~line:1 ~col:sofar ~limit:"max_request_line_bytes"
+            ~value:sofar ~max:lim.max_request_line_bytes;
+        keep_tail ();
+        None
+    | Some (reqline, after_reqline) ->
+        let rl_len = String.length reqline in
+        if rl_len > lim.max_request_line_bytes then
+          Limits.exceeded ~line:1 ~col:rl_len ~limit:"max_request_line_bytes"
+            ~value:rl_len ~max:lim.max_request_line_bytes;
+        let meth, target, version = parse_request_line reqline in
+        let rec read_headers acc count line_no pos =
+          let head_bytes = pos - start in
+          if head_bytes > lim.max_header_bytes then
+            Limits.exceeded ~line:line_no ~col:0 ~limit:"max_header_bytes"
+              ~value:head_bytes ~max:lim.max_header_bytes;
+          match next_line s pos with
+          | None ->
+              (* Same incremental rule for a head that never ends. *)
+              if len - start > lim.max_header_bytes then
+                Limits.exceeded ~line:line_no ~col:0 ~limit:"max_header_bytes"
+                  ~value:(len - start) ~max:lim.max_header_bytes;
+              `Incomplete
+          | Some ("", p) -> `Done (List.rev acc, line_no, p)
+          | Some (hline, p) ->
+              if count + 1 > lim.max_headers then
+                Limits.exceeded ~line:line_no ~col:0 ~limit:"max_headers"
+                  ~value:(count + 1) ~max:lim.max_headers;
+              (match String.index_opt hline ':' with
+              | None | Some 0 -> raise (Bad_request "malformed header line")
+              | Some i ->
+                  let name =
+                    String.lowercase_ascii (String.trim (String.sub hline 0 i))
+                  in
+                  let value =
+                    String.trim
+                      (String.sub hline (i + 1) (String.length hline - i - 1))
+                  in
+                  read_headers ((name, value) :: acc) (count + 1) (line_no + 1)
+                    p)
+        in
+        (match read_headers [] 0 2 after_reqline with
+        | `Incomplete ->
+            keep_tail ();
+            None
+        | `Done (headers, line_no, body_start) ->
+            if List.mem_assoc "transfer-encoding" headers then
+              raise (Bad_request "transfer-encoding not supported");
+            let content_length =
+              match List.assoc_opt "content-length" headers with
+              | None -> 0
+              | Some v -> (
+                  match int_of_string_opt (String.trim v) with
+                  | Some n when n >= 0 -> n
+                  | Some _ | None ->
+                      raise (Bad_request "malformed content-length"))
+            in
+            if content_length > lim.max_body_bytes then
+              Limits.exceeded ~line:line_no ~col:0 ~limit:"max_body_bytes"
+                ~value:content_length ~max:lim.max_body_bytes;
+            if len - body_start < content_length then begin
+              keep_tail ();
+              None
+            end
+            else begin
+              let body = String.sub s body_start content_length in
+              let rest = body_start + content_length in
+              r.pending <- String.sub s rest (len - rest);
+              let path, params = split_target target in
+              Some { meth; target; path; params; version; headers; body }
+            end)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.equal (String.sub s i m) sub || at (i + 1)) in
+  m = 0 || at 0
+
+let keep_alive req =
+  match header req "connection" with
+  | None -> req.version >= 1
+  | Some v ->
+      let v = String.lowercase_ascii v in
+      if contains_sub v "close" then false
+      else if contains_sub v "keep-alive" then true
+      else req.version >= 1
+
+(* --- responses --- *)
+
+let status_reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Status"
+
+let response ?(headers = []) ?(content_type = "application/json") ~status body
+    =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_reason status));
+  Buffer.add_string b (Printf.sprintf "content-type: %s\r\n" content_type);
+  Buffer.add_string b
+    (Printf.sprintf "content-length: %d\r\n" (String.length body));
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b

@@ -32,5 +32,6 @@ let () =
       ("extensions", Test_extensions.tests);
       ("check", Test_check.tests);
       ("exec", Test_exec.tests);
+      ("serve", Test_serve.tests);
       ("paper_figures", Test_paper_figures.tests);
     ]

@@ -1,0 +1,456 @@
+(* Serving-layer fault suite, outside the default runtest (see the
+   @stress alias): drives the real `xks serve` binary through a
+   SIGTERM-under-load drill, then an in-process server through the
+   failure modes a load balancer will eventually deliver — malformed
+   request lines, injected read faults (error / torn / corrupt), slow
+   trickling clients, mid-request disconnects, pool exhaustion, and a
+   drain deadline that has to cut a wedged connection.  The invariant
+   throughout is the serving contract: every connection ends in a
+   well-formed response or a clean close, failures cost one connection
+   and never the server, and shutdown always terminates with every
+   slot released.
+
+     dune exec test/stress/serve_fault.exe -- path/to/xks.exe
+
+   Exits non-zero on the first violation. *)
+
+module L = Xks_bench.Loadgen
+module Server = Xks_serve.Server
+module Failpoint = Xks_robust.Failpoint
+module Engine = Xks_core.Engine
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr failures;
+      Printf.eprintf "SERVE FAULT FAILURE: %s\n%!" m)
+    fmt
+
+let sock_counter = ref 0
+
+let fresh_socket () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xks-serve-fault-%d-%d.sock" (Unix.getpid ())
+       !sock_counter)
+
+(* Wait for a child with a deadline; a hung process is itself a test
+   failure, not a reason to hang the suite. *)
+let wait_exit ~what ~deadline_s pid =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          fail "%s: still running after %.1fs, killed" what deadline_s;
+          None
+        end
+        else begin
+          Unix.sleepf 0.02;
+          go ()
+        end
+    | _, status -> Some status
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the real binary under SIGTERM while clients are hammering.
+   This forks, so it MUST run before any domain is spawned in this
+   process.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_tool ~what argv =
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process argv.(0) argv Unix.stdin null Unix.stderr
+  in
+  Unix.close null;
+  match wait_exit ~what ~deadline_s:30.0 pid with
+  | Some (Unix.WEXITED 0) -> true
+  | Some (Unix.WEXITED c) ->
+      fail "%s: exit code %d" what c;
+      false
+  | Some (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+      fail "%s: killed/stopped by signal %d" what s;
+      false
+  | None -> false
+
+let poll_connect ~deadline_s socket =
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec go () =
+    match L.connect socket with
+    | fd -> Some fd
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) ->
+        if Unix.gettimeofday () > deadline then None
+        else begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+  in
+  go ()
+
+(* A hammering client process: keep-alive requests in a loop until the
+   server winds the connection down.  Exit codes: 0 = every request got
+   a full well-formed response and the close was clean; 1 = never got a
+   response; 2 = unexpected status; 3 = connection died mid-response. *)
+let client_loop socket =
+  let fd =
+    match poll_connect ~deadline_s:5.0 socket with
+    | Some fd -> fd
+    | None -> Unix._exit 1
+  in
+  let got = ref 0 in
+  let rec go () =
+    (try L.send_request fd "/search?q=keyword+xml" with L.Client_error _ -> ());
+    match L.read_reply fd with
+    | Some r when r.L.status = 200 || r.L.status = 503 ->
+        incr got;
+        if L.reply_header r "connection" = Some "close" then Unix._exit 0
+        else go ()
+    | Some _ -> Unix._exit 2
+    | None -> Unix._exit (if !got > 0 then 0 else 1)
+    | exception L.Client_error _ -> Unix._exit 3
+  in
+  go ()
+
+let sigterm_under_load xks =
+  let corpus = Filename.temp_file "xks_serve_fault" ".xml" in
+  let socket = fresh_socket () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove corpus with Sys_error _ -> ());
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () ->
+      if
+        run_tool ~what:"gen corpus"
+          [| xks; "gen"; "dblp"; "-o"; corpus; "--size"; "200"; "--seed"; "7" |]
+      then begin
+        let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        let server_pid =
+          Unix.create_process xks
+            [| xks; "serve"; "--socket"; socket; "--workers"; "2"; corpus |]
+            Unix.stdin Unix.stdout null
+        in
+        Unix.close null;
+        (match poll_connect ~deadline_s:10.0 socket with
+        | Some fd -> L.close_quietly fd
+        | None -> fail "server socket never became connectable");
+        let clients =
+          List.init 4 (fun _ ->
+              match Unix.fork () with
+              | 0 -> client_loop socket
+              | pid -> pid)
+        in
+        Unix.sleepf 0.3;
+        Unix.kill server_pid Sys.sigterm;
+        (match wait_exit ~what:"server" ~deadline_s:15.0 server_pid with
+        | Some (Unix.WEXITED 0) -> ()
+        | Some (Unix.WEXITED c) -> fail "server: SIGTERM exit code %d" c
+        | Some (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+            fail "server: died on signal %d" s
+        | None -> ());
+        if Sys.file_exists socket then
+          fail "server left its socket file behind";
+        List.iteri
+          (fun i pid ->
+            match wait_exit ~what:(Printf.sprintf "client %d" i) ~deadline_s:15.0 pid with
+            | Some (Unix.WEXITED 0) -> ()
+            | Some (Unix.WEXITED c) ->
+                fail "client %d: unclean shutdown (exit %d)" i c
+            | Some (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+                fail "client %d: signal %d" i s
+            | None -> ())
+          clients
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: in-process failure modes (spawns domains; after part 1)     *)
+(* ------------------------------------------------------------------ *)
+
+let engine =
+  lazy
+    (Engine.of_doc
+       (Xks_datagen.Dblp_gen.generate
+          ~config:
+            { Xks_datagen.Dblp_gen.default_config with entries = 120 }
+          ()))
+
+let base_config socket =
+  {
+    (Server.default_config ~socket_path:socket ()) with
+    Server.workers = 2;
+    queue = 2;
+    cache_mb = 0;
+  }
+
+let with_server cfg f =
+  let srv = Server.create cfg (Lazy.force engine) in
+  let d = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_shutdown srv;
+      Domain.join d)
+    (fun () -> f srv)
+
+let with_conn socket f =
+  let fd = L.connect socket in
+  Fun.protect ~finally:(fun () -> L.close_quietly fd) (fun () -> f fd)
+
+(* One fresh-connection request, returning the reply (or None). *)
+let one_shot socket target =
+  with_conn socket (fun fd ->
+      (try L.send_request ~close:true fd target with L.Client_error _ -> ());
+      L.read_reply fd)
+
+let expect_status name socket target want =
+  match one_shot socket target with
+  | Some r when r.L.status = want -> ()
+  | Some r -> fail "%s: status %d, wanted %d" name r.L.status want
+  | None -> fail "%s: connection closed before response" name
+  | exception L.Client_error m -> fail "%s: client error: %s" name m
+
+(* Malformed request lines: a garbage line costs 400 on that connection
+   only; the very next connection is served normally. *)
+let malformed_request_lines socket =
+  List.iter
+    (fun (label, raw) ->
+      (match
+         with_conn socket (fun fd ->
+             (try L.write_all fd raw with L.Client_error _ -> ());
+             L.read_reply fd)
+       with
+      | Some r when r.L.status = 400 -> ()
+      | Some r -> fail "malformed %s: status %d, wanted 400" label r.L.status
+      | None -> fail "malformed %s: closed without a 400" label
+      | exception L.Client_error m -> fail "malformed %s: %s" label m);
+      expect_status (Printf.sprintf "health after malformed %s" label) socket
+        "/health" 200)
+    [
+      ("garbage", "NOT_HTTP GARBAGE\r\n\r\n");
+      ("no protocol", "GET /health\r\n\r\n");
+      ("bad version", "GET /health HTTP/2.0\r\n\r\n");
+      ("colonless header", "GET /health HTTP/1.1\r\nbroken header\r\n\r\n");
+    ]
+
+(* Injected read faults at the server's socket-read site: an I/O error
+   or torn/corrupt read costs that connection a clean failure (error
+   response or close), and the server keeps serving afterwards. *)
+let injected_read_faults socket =
+  (* mid-read I/O error: the connection just dies; no crash, no hang *)
+  Failpoint.with_failpoint Server.read_site
+    (Failpoint.Raise (Sys_error "injected: network gone"))
+    (fun () ->
+      match one_shot socket "/health" with
+      | Some r when r.L.status = 200 ->
+          fail "read fault: request served despite injected I/O error"
+      | Some _ | None -> ()
+      | exception L.Client_error _ -> ());
+  expect_status "health after injected I/O error" socket "/health" 200;
+  (* corrupt read: offset 17 lands in the "HTTP/1.1" token of the
+     single-chunk request below, so the parser must answer 400 *)
+  Failpoint.with_failpoint Server.read_site (Failpoint.Corrupt 17) (fun () ->
+      match
+        with_conn socket (fun fd ->
+            (try L.write_all fd "GET /health HTTP/1.1\r\n\r\n"
+             with L.Client_error _ -> ());
+            L.read_reply fd)
+      with
+      | Some r when r.L.status = 400 -> ()
+      | Some r -> fail "corrupt read: status %d, wanted 400" r.L.status
+      | None -> fail "corrupt read: closed without a 400"
+      | exception L.Client_error m -> fail "corrupt read: %s" m);
+  expect_status "health after corrupt read" socket "/health" 200
+
+(* A client trickling a request slower than the read budget gets 408;
+   a torn (truncated) read looks the same server-side — the request
+   never completes inside the budget. *)
+let slow_and_torn_clients socket =
+  (match
+     with_conn socket (fun fd ->
+         (try L.write_all fd "GET /health HTTP/1.1\r\n"
+          with L.Client_error _ -> ());
+         (* stay silent past read_timeout_ms = 200 *)
+         Unix.sleepf 0.45;
+         L.read_reply fd)
+   with
+  | Some r when r.L.status = 408 -> ()
+  | Some r -> fail "slow client: status %d, wanted 408" r.L.status
+  | None -> fail "slow client: closed without a 408"
+  | exception L.Client_error m -> fail "slow client: %s" m);
+  (match
+     Failpoint.with_failpoint Server.read_site (Failpoint.Truncate 8)
+       (fun () ->
+         with_conn socket (fun fd ->
+             (try L.write_all fd "GET /health HTTP/1.1\r\n\r\n"
+              with L.Client_error _ -> ());
+             L.read_reply fd))
+   with
+  | Some r when r.L.status = 408 -> ()
+  | Some r -> fail "torn read: status %d, wanted 408" r.L.status
+  | None -> fail "torn read: closed without a 408"
+  | exception L.Client_error m -> fail "torn read: %s" m);
+  expect_status "health after slow/torn clients" socket "/health" 200
+
+(* A client vanishing mid-request releases its slot and leaves the
+   server healthy. *)
+let mid_request_disconnect socket srv =
+  let seen s = s.Server.accepted + s.Server.rejected in
+  let before = seen (Server.stats srv) in
+  for _ = 1 to 4 do
+    with_conn socket (fun fd ->
+        try L.write_all fd "GET /health HT" with L.Client_error _ -> ())
+  done;
+  (* connect returns before the server's accept tick runs, so wait
+     until all four connections were actually seen (accepted, or shed
+     if a slot from an earlier case was still in flight) AND every slot
+     came back (the server has to notice each EOF) before probing *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec settle () =
+    let s = Server.stats srv in
+    if
+      (seen s < before + 4 || s.Server.active > 0)
+      && Unix.gettimeofday () < deadline
+    then begin
+      Unix.sleepf 0.05;
+      settle ()
+    end
+    else s
+  in
+  let s = settle () in
+  if seen s < before + 4 then
+    fail "disconnects never reached the server (seen=%d, wanted >= %d)"
+      (seen s) (before + 4);
+  if s.Server.active > 0 then
+    fail "disconnects leaked admission slots (active=%d)" s.Server.active;
+  expect_status "health after disconnects" socket "/health" 200
+
+(* workers=1, queue=0: one idle keep-alive connection owns the only
+   slot, so the next connection must be shed with a well-formed 503 —
+   deterministically, not probabilistically. *)
+let pool_exhaustion () =
+  let socket = fresh_socket () in
+  let cfg = { (base_config socket) with Server.workers = 1; queue = 0 } in
+  with_server cfg (fun srv ->
+      with_conn socket (fun holder ->
+          (* make sure the slot is really held, not still in accept *)
+          (try L.send_request holder "/health" with L.Client_error _ -> ());
+          (match L.read_reply holder with
+          | Some r when r.L.status = 200 -> ()
+          | Some r -> fail "exhaustion: holder got %d" r.L.status
+          | None -> fail "exhaustion: holder connection closed"
+          | exception L.Client_error m -> fail "exhaustion holder: %s" m);
+          match one_shot socket "/health" with
+          | Some r when r.L.status = 503 ->
+              if not (L.well_formed_rejection r) then
+                fail "exhaustion: 503 missing Retry-After or JSON error"
+          | Some r -> fail "exhaustion: status %d, wanted 503" r.L.status
+          | None -> fail "exhaustion: closed without a 503"
+          | exception L.Client_error m -> fail "exhaustion: %s" m);
+      (* slot release happens when the server notices the holder's EOF,
+         which races our next connect: poll briefly instead of failing
+         on the first 503 *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      let rec recovered () =
+        let outcome =
+          match one_shot socket "/health" with
+          | Some r when r.L.status = 200 -> Ok ()
+          | Some r ->
+              Error (Printf.sprintf "status %d, wanted 200" r.L.status)
+          | None -> Error "connection closed"
+          | exception L.Client_error m -> Error m
+        in
+        match outcome with
+        | Ok () -> ()
+        | Error _ when Unix.gettimeofday () < deadline ->
+            Unix.sleepf 0.05;
+            recovered ()
+        | Error m -> fail "health after exhaustion: %s" m
+      in
+      recovered ();
+      if (Server.stats srv).Server.rejected < 1 then
+        fail "exhaustion: rejection not counted in stats")
+
+(* A connection wedged mid-request cannot outlive the drain deadline:
+   shutdown cuts it, counts it as aborted, and still exits cleanly. *)
+let drain_cuts_wedged_conn () =
+  let socket = fresh_socket () in
+  let cfg =
+    {
+      (base_config socket) with
+      Server.read_timeout_ms = 10_000;
+      drain_timeout_ms = 200;
+    }
+  in
+  let aborted =
+    with_server cfg (fun srv ->
+        expect_status "pre-shutdown health" socket "/health" 200;
+        let accepted_before = (Server.stats srv).Server.accepted in
+        let fd = L.connect socket in
+        (try L.write_all fd "GET /wedged HT" with L.Client_error _ -> ());
+        (* the wedge only exists once the server has accepted the
+           connection; shutting down before that just closes the
+           listener on a backlog entry with nothing to abort *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        let rec wait_accepted () =
+          if
+            (Server.stats srv).Server.accepted <= accepted_before
+            && Unix.gettimeofday () < deadline
+          then begin
+            Unix.sleepf 0.02;
+            wait_accepted ()
+          end
+        in
+        wait_accepted ();
+        if (Server.stats srv).Server.accepted <= accepted_before then
+          fail "drain: wedged connection never accepted";
+        Server.request_shutdown srv;
+        (* with_server joins run; the wedged fd dies with the server *)
+        Fun.protect
+          ~finally:(fun () -> L.close_quietly fd)
+          (fun () ->
+            match L.read_reply fd with
+            | None | Some _ -> ()
+            | exception L.Client_error _ -> ());
+        srv)
+  in
+  let s = Server.stats aborted in
+  if s.Server.aborted < 1 then
+    fail "drain: wedged connection not counted as aborted (%s)"
+      (Server.stats_line s);
+  if s.Server.active <> 0 then
+    fail "drain: %d connections still active after run returned"
+      s.Server.active;
+  if Sys.file_exists socket then fail "drain: socket file left behind"
+
+let in_process_faults () =
+  let socket = fresh_socket () in
+  let cfg = { (base_config socket) with Server.read_timeout_ms = 200 } in
+  with_server cfg (fun srv ->
+      malformed_request_lines socket;
+      injected_read_faults socket;
+      slow_and_torn_clients socket;
+      mid_request_disconnect socket srv);
+  if Sys.file_exists socket then fail "socket file left behind";
+  pool_exhaustion ();
+  drain_cuts_wedged_conn ()
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: serve_fault.exe path/to/xks.exe";
+    exit 2
+  end;
+  let xks = Sys.argv.(1) in
+  sigterm_under_load xks;
+  Printf.printf "serve_fault: SIGTERM under load ok\n%!";
+  in_process_faults ();
+  Failpoint.clear_all ();
+  if !failures > 0 then begin
+    Printf.eprintf "serve_fault: %d failures\n" !failures;
+    exit 1
+  end;
+  Printf.printf "serve_fault: all serving faults handled\n%!"

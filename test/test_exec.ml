@@ -40,10 +40,35 @@ let test_pool_propagates_exception () =
 let test_pool_rejects_after_shutdown () =
   let p = Pool.create ~size:1 () in
   Pool.shutdown p;
-  Pool.shutdown p (* idempotent *);
-  Alcotest.check_raises "submit after shutdown"
-    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
-      Pool.submit p (fun () -> ()))
+  Alcotest.check_raises "second shutdown" Pool.Pool_closed (fun () ->
+      Pool.shutdown p);
+  Alcotest.check_raises "submit after shutdown" Pool.Pool_closed (fun () ->
+      Pool.submit p (fun () -> ()));
+  Alcotest.check_raises "run_all after shutdown" Pool.Pool_closed (fun () ->
+      ignore (Pool.run_all p [ (fun () -> ()) ]))
+
+(* Concurrent shutdown callers: exactly one joins the workers and
+   returns; every loser gets the deterministic [Pool_closed], never a
+   silent success overlapping a pool that is still draining. *)
+let test_pool_concurrent_shutdown () =
+  for _ = 1 to 20 do
+    let p = Pool.create ~size:2 () in
+    let callers = 4 in
+    let outcomes =
+      List.init callers (fun _ ->
+          Domain.spawn (fun () ->
+              match Pool.shutdown p with
+              | () -> `Won
+              | exception Pool.Pool_closed -> `Lost))
+      |> List.map Domain.join
+    in
+    let winners =
+      List.length (List.filter (fun o -> o = `Won) outcomes)
+    in
+    Alcotest.(check int) "exactly one winner" 1 winners;
+    Alcotest.(check int) "everyone else lost" (callers - 1)
+      (List.length (List.filter (fun o -> o = `Lost) outcomes))
+  done
 
 let test_pool_rejects_zero_size () =
   Alcotest.check_raises "size 0"
@@ -352,6 +377,8 @@ let tests =
       test_pool_propagates_exception;
     Alcotest.test_case "pool rejects submit after shutdown" `Quick
       test_pool_rejects_after_shutdown;
+    Alcotest.test_case "pool concurrent shutdown has one winner" `Quick
+      test_pool_concurrent_shutdown;
     Alcotest.test_case "pool rejects zero size" `Quick
       test_pool_rejects_zero_size;
     Alcotest.test_case "cache key normalisation" `Quick test_key_normalisation;

@@ -1,0 +1,321 @@
+(* Serving layer: incremental HTTP parsing (torn reads, pipelining,
+   caps, malformed syntax), response serialization, and the lock-free
+   admission gate. *)
+
+module Http = Xks_serve.Http
+module Admission = Xks_robust.Admission
+module Limits = Xks_robust.Limits
+
+let feed_all limits chunks =
+  let r = Http.reader limits in
+  List.iter (Http.feed r) chunks;
+  r
+
+let expect_request r =
+  match Http.next r with
+  | Some req -> req
+  | None -> Alcotest.fail "expected a complete request"
+
+let expect_incomplete r =
+  match Http.next r with
+  | None -> ()
+  | Some req -> Alcotest.fail ("unexpected complete request: " ^ req.Http.target)
+
+(* --- basic parsing --- *)
+
+let test_parse_simple () =
+  let r =
+    feed_all Http.default_limits
+      [
+        "GET /search?q=xml+keyword&limit=5 HTTP/1.1\r\n";
+        "Host: localhost\r\nConnection: close\r\n\r\n";
+      ]
+  in
+  let req = expect_request r in
+  Alcotest.(check string) "method" "GET" req.Http.meth;
+  Alcotest.(check string) "path" "/search" req.Http.path;
+  Alcotest.(check int) "version" 1 req.Http.version;
+  Alcotest.(check (list (pair string string)))
+    "query decoded, + is space"
+    [ ("q", "xml keyword"); ("limit", "5") ]
+    req.Http.params;
+  Alcotest.(check (option string))
+    "header lookup is case-insensitive" (Some "localhost")
+    (Http.header req "HOST");
+  Alcotest.(check bool) "connection: close" false (Http.keep_alive req);
+  Alcotest.(check int) "nothing left over" 0 (Http.pending_bytes r)
+
+let test_parse_torn_reads () =
+  let raw = "GET /health HTTP/1.1\r\nhost: a\r\n\r\n" in
+  let r = Http.reader Http.default_limits in
+  String.iteri
+    (fun i c ->
+      (* before the final byte, every prefix must be incomplete *)
+      if i < String.length raw - 1 then expect_incomplete r;
+      Http.feed r (String.make 1 c))
+    raw;
+  let req = expect_request r in
+  Alcotest.(check string) "path survives torn reads" "/health" req.Http.path;
+  Alcotest.(check int) "header parsed" 1 (List.length req.Http.headers)
+
+let test_parse_bare_lf () =
+  let r =
+    feed_all Http.default_limits [ "GET /a HTTP/1.1\nhost: x\n\n" ]
+  in
+  let req = expect_request r in
+  Alcotest.(check string) "bare-LF head accepted" "/a" req.Http.path;
+  (* mixed endings in one head *)
+  let r = feed_all Http.default_limits [ "GET /b HTTP/1.0\r\nh: v\n\r\n" ] in
+  let req = expect_request r in
+  Alcotest.(check int) "HTTP/1.0 version" 0 req.Http.version;
+  Alcotest.(check (option string)) "mixed-ending header" (Some "v")
+    (Http.header req "h")
+
+let test_parse_pipelined () =
+  let r =
+    feed_all Http.default_limits
+      [
+        "GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.1\r\nhost: x\r\n\r\nGET /thr";
+      ]
+  in
+  let a = expect_request r in
+  let b = expect_request r in
+  Alcotest.(check string) "first pipelined" "/one" a.Http.path;
+  Alcotest.(check string) "second pipelined" "/two" b.Http.path;
+  expect_incomplete r;
+  Alcotest.(check bool) "partial third stays buffered" true
+    (Http.pending_bytes r > 0);
+  Http.feed r "ee HTTP/1.1\r\n\r\n";
+  let c = expect_request r in
+  Alcotest.(check string) "third completes across feeds" "/three" c.Http.path
+
+let test_parse_body () =
+  let r =
+    feed_all Http.default_limits
+      [ "POST /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nhel" ]
+  in
+  (* head complete but body short: incomplete, nothing consumed *)
+  expect_incomplete r;
+  Http.feed r "lo tail";
+  let req = expect_request r in
+  Alcotest.(check string) "exact content-length body" "hello" req.Http.body;
+  Alcotest.(check int) "trailing bytes stay pending" 5 (Http.pending_bytes r)
+
+let test_parse_blank_lines_between_requests () =
+  let r =
+    feed_all Http.default_limits
+      [ "\r\n\r\nGET /a HTTP/1.1\r\n\r\n\r\nGET /b HTTP/1.1\r\n\r\n" ]
+  in
+  Alcotest.(check string) "leading blank lines skipped" "/a"
+    (expect_request r).Http.path;
+  Alcotest.(check string) "inter-request blank lines skipped" "/b"
+    (expect_request r).Http.path
+
+(* --- caps (positioned Limit_exceeded, also on incomplete heads) --- *)
+
+let tiny =
+  {
+    Http.max_request_line_bytes = 32;
+    max_header_bytes = 96;
+    max_headers = 3;
+    max_body_bytes = 16;
+  }
+
+let expect_limit name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Limit_exceeded")
+  | exception Limits.Limit_exceeded { limit; _ } ->
+      Alcotest.(check string) name name limit
+
+let test_cap_request_line () =
+  (* terminated over-long request line *)
+  let r =
+    feed_all tiny [ "GET /" ^ String.make 40 'a' ^ " HTTP/1.1\r\n\r\n" ]
+  in
+  expect_limit "max_request_line_bytes" (fun () -> Http.next r);
+  (* unterminated: the cap must fire before any terminator arrives *)
+  let r = feed_all tiny [ String.make 40 'a' ] in
+  expect_limit "max_request_line_bytes" (fun () -> Http.next r)
+
+let test_cap_header_bytes () =
+  let r =
+    feed_all tiny
+      [ "GET /a HTTP/1.1\r\nh: " ^ String.make 100 'v' ^ "\r\n\r\n" ]
+  in
+  expect_limit "max_header_bytes" (fun () -> Http.next r);
+  (* same cap on a head that never terminates *)
+  let r = feed_all tiny [ "GET /a HTTP/1.1\r\nh: " ^ String.make 100 'v' ] in
+  expect_limit "max_header_bytes" (fun () -> Http.next r)
+
+let test_cap_header_count () =
+  let r =
+    feed_all tiny [ "GET /a HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\nd: 4\r\n\r\n" ]
+  in
+  expect_limit "max_headers" (fun () -> Http.next r)
+
+let test_cap_body_bytes () =
+  let r =
+    feed_all tiny [ "GET /a HTTP/1.1\r\ncontent-length: 1000\r\n\r\n" ]
+  in
+  expect_limit "max_body_bytes" (fun () -> Http.next r)
+
+(* --- malformed syntax (the 400 channel) --- *)
+
+let expect_bad name raw =
+  let r = feed_all Http.default_limits [ raw ] in
+  match Http.next r with
+  | _ -> Alcotest.fail (name ^ ": expected Bad_request")
+  | exception Http.Bad_request _ -> ()
+
+let test_bad_requests () =
+  expect_bad "unsupported protocol" "GET /a HTTP/2\r\n\r\n";
+  expect_bad "missing protocol" "GET /a\r\n\r\n";
+  expect_bad "header without colon" "GET /a HTTP/1.1\r\nbogus line\r\n\r\n";
+  expect_bad "colon-first header" "GET /a HTTP/1.1\r\n: v\r\n\r\n";
+  expect_bad "chunked rejected"
+    "GET /a HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+  expect_bad "garbage content-length"
+    "GET /a HTTP/1.1\r\ncontent-length: ten\r\n\r\n";
+  expect_bad "negative content-length"
+    "GET /a HTTP/1.1\r\ncontent-length: -4\r\n\r\n";
+  expect_bad "bad percent escape" "GET /a%zz HTTP/1.1\r\n\r\n";
+  expect_bad "truncated percent escape" "GET /a%4 HTTP/1.1\r\n\r\n"
+
+let test_percent_decoding () =
+  let r =
+    feed_all Http.default_limits
+      [ "GET /se%61rch?na%6De=a%2Bb+c HTTP/1.1\r\n\r\n" ]
+  in
+  let req = expect_request r in
+  Alcotest.(check string) "path percent-decoded" "/search" req.Http.path;
+  Alcotest.(check (list (pair string string)))
+    "query: %2B stays plus, + becomes space"
+    [ ("name", "a+b c") ]
+    req.Http.params
+
+let test_keep_alive_defaults () =
+  let parse raw = expect_request (feed_all Http.default_limits [ raw ]) in
+  Alcotest.(check bool) "1.1 defaults on" true
+    (Http.keep_alive (parse "GET / HTTP/1.1\r\n\r\n"));
+  Alcotest.(check bool) "1.0 defaults off" false
+    (Http.keep_alive (parse "GET / HTTP/1.0\r\n\r\n"));
+  Alcotest.(check bool) "1.0 + keep-alive on" true
+    (Http.keep_alive (parse "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
+  Alcotest.(check bool) "1.1 + close off" false
+    (Http.keep_alive (parse "GET / HTTP/1.1\r\nconnection: close\r\n\r\n"))
+
+let test_response_serialization () =
+  let resp =
+    Http.response ~headers:[ ("retry-after", "1") ] ~status:503 "{\"a\":1}"
+  in
+  let expect_prefix = "HTTP/1.1 503 Service Unavailable\r\n" in
+  Alcotest.(check string) "status line" expect_prefix
+    (String.sub resp 0 (String.length expect_prefix));
+  Alcotest.(check bool) "content-length present" true
+    (let sub = "content-length: 7\r\n" in
+     let rec at i =
+       i + String.length sub <= String.length resp
+       && (String.equal (String.sub resp i (String.length sub)) sub
+          || at (i + 1))
+     in
+     at 0);
+  (* the response must parse back as exactly its body after the head *)
+  match String.index_opt resp '{' with
+  | Some i ->
+      Alcotest.(check string) "body verbatim" "{\"a\":1}"
+        (String.sub resp i (String.length resp - i))
+  | None -> Alcotest.fail "body missing"
+
+(* --- admission gate --- *)
+
+let test_admission_capacity () =
+  let a = Admission.create ~workers:2 ~queue:1 in
+  Alcotest.(check int) "capacity" 3 (Admission.capacity a);
+  for i = 1 to 3 do
+    match Admission.try_admit a with
+    | Admission.Admitted -> ()
+    | Admission.Rejected _ ->
+        Alcotest.failf "admission %d rejected below capacity" i
+  done;
+  (match Admission.try_admit a with
+  | Admission.Rejected { outstanding; capacity } ->
+      Alcotest.(check int) "rejection reports outstanding" 3 outstanding;
+      Alcotest.(check int) "rejection reports capacity" 3 capacity
+  | Admission.Admitted -> Alcotest.fail "admitted over capacity");
+  Admission.release a;
+  (match Admission.try_admit a with
+  | Admission.Admitted -> ()
+  | Admission.Rejected _ -> Alcotest.fail "slot not reusable after release");
+  Alcotest.(check int) "admitted counted" 4 (Admission.admitted_total a);
+  Alcotest.(check int) "rejections counted" 1 (Admission.rejected_total a);
+  Alcotest.(check int) "outstanding live" 3 (Admission.outstanding a)
+
+let test_admission_release_underflow () =
+  let a = Admission.create ~workers:1 ~queue:0 in
+  (match Admission.try_admit a with
+  | Admission.Admitted -> ()
+  | Admission.Rejected _ -> Alcotest.fail "empty gate rejected");
+  Admission.release a;
+  match Admission.release a with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double release must not underflow"
+
+let test_admission_error_mapping () =
+  let a = Admission.create ~workers:1 ~queue:1 in
+  match Admission.to_error ~outstanding:2 a with
+  | Limits.Limit_exceeded { limit; value; max; _ } ->
+      Alcotest.(check string) "limit name" "admission_outstanding" limit;
+      Alcotest.(check int) "value" 2 value;
+      Alcotest.(check int) "max" 2 max
+  | _ -> Alcotest.fail "expected Limit_exceeded"
+
+let test_admission_concurrent () =
+  (* hammer one gate from 4 domains; the slot count must never exceed
+     capacity and must come back to zero *)
+  let a = Admission.create ~workers:2 ~queue:2 in
+  let over = Atomic.make false in
+  let worker () =
+    for _ = 1 to 2000 do
+      match Admission.try_admit a with
+      | Admission.Admitted ->
+          if Admission.outstanding a > Admission.capacity a then
+            Atomic.set over true;
+          Admission.release a
+      | Admission.Rejected _ -> Domain.cpu_relax ()
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "never over capacity" false (Atomic.get over);
+  Alcotest.(check int) "drains to zero" 0 (Admission.outstanding a);
+  Alcotest.(check int) "totals reconcile"
+    (Admission.admitted_total a + Admission.rejected_total a)
+    (4 * 2000)
+
+let tests =
+  [
+    Alcotest.test_case "http: simple request" `Quick test_parse_simple;
+    Alcotest.test_case "http: torn reads" `Quick test_parse_torn_reads;
+    Alcotest.test_case "http: bare LF" `Quick test_parse_bare_lf;
+    Alcotest.test_case "http: pipelining" `Quick test_parse_pipelined;
+    Alcotest.test_case "http: content-length body" `Quick test_parse_body;
+    Alcotest.test_case "http: blank lines" `Quick
+      test_parse_blank_lines_between_requests;
+    Alcotest.test_case "http: request-line cap" `Quick test_cap_request_line;
+    Alcotest.test_case "http: header-bytes cap" `Quick test_cap_header_bytes;
+    Alcotest.test_case "http: header-count cap" `Quick test_cap_header_count;
+    Alcotest.test_case "http: body cap" `Quick test_cap_body_bytes;
+    Alcotest.test_case "http: malformed syntax" `Quick test_bad_requests;
+    Alcotest.test_case "http: percent decoding" `Quick test_percent_decoding;
+    Alcotest.test_case "http: keep-alive defaults" `Quick
+      test_keep_alive_defaults;
+    Alcotest.test_case "http: response serialization" `Quick
+      test_response_serialization;
+    Alcotest.test_case "admission: capacity bound" `Quick
+      test_admission_capacity;
+    Alcotest.test_case "admission: release underflow" `Quick
+      test_admission_release_underflow;
+    Alcotest.test_case "admission: error mapping" `Quick
+      test_admission_error_mapping;
+    Alcotest.test_case "admission: concurrent" `Quick test_admission_concurrent;
+  ]
