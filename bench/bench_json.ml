@@ -140,10 +140,20 @@ let record_fig6 ~dataset rows =
 (* --- BENCH_throughput.json: batch-execution scaling --- *)
 
 type throughput_row = {
-  jobs : int;  (* 1 = the sequential, uncached baseline *)
-  elapsed_ms : float;
+  jobs : int;  (* requested worker count for the row *)
+  workers : int;  (* actual pool size after capping at the host's domains *)
+  passes_ms : float list;  (* every timed pass, in pass order *)
+  elapsed_ms : float;  (* median of passes_ms *)
   qps : float;
-  speedup : float;  (* qps relative to the jobs = 1 row *)
+  speedup : float;
+      (* median over pass index k of (baseline pass k / this row's pass
+         k), the baseline being the same section's jobs = 1 row.  The
+         sections are swept as interleaved rounds, so pass k of every
+         row ran back to back — pairing cancels the slow load drift a
+         shared host superimposes on separately-timed rows. *)
+  speedup_vs_cold : float option;
+      (* warm rows only: qps over the cold jobs = 1 qps — the honest
+         cache win, kept separate from the within-section scaling column *)
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
@@ -151,15 +161,30 @@ type throughput_row = {
 
 let throughput_row_json r =
   J.Obj
-    [
-      ("jobs", J.Int r.jobs);
-      ("elapsed_ms", J.Float r.elapsed_ms);
-      ("qps", J.Float r.qps);
-      ("speedup", J.Float r.speedup);
-      ("cache_hits", J.Int r.cache_hits);
-      ("cache_misses", J.Int r.cache_misses);
-      ("cache_evictions", J.Int r.cache_evictions);
-    ]
+    ([
+       ("jobs", J.Int r.jobs);
+       ("workers", J.Int r.workers);
+       ("passes_ms", J.List (List.map (fun p -> J.Float p) r.passes_ms));
+       ("elapsed_ms", J.Float r.elapsed_ms);
+       ("qps", J.Float r.qps);
+       ("speedup", J.Float r.speedup);
+     ]
+    @ (match r.speedup_vs_cold with
+      | Some s -> [ ("speedup_vs_cold", J.Float s) ]
+      | None -> [])
+    @ [
+        ("cache_hits", J.Int r.cache_hits);
+        ("cache_misses", J.Int r.cache_misses);
+        ("cache_evictions", J.Int r.cache_evictions);
+      ])
+
+(* Upper median: sorted element at index n/2.  json_check recomputes
+   medians and paired speedups from [passes_ms], so the definition must
+   match on both sides exactly. *)
+let median_ms l =
+  match Array.of_list (List.sort Float.compare l) with
+  | [||] -> invalid_arg "Bench_json.median_ms: empty"
+  | sorted -> sorted.(Array.length sorted / 2)
 
 let write_doc figure doc =
   let file = path figure in
@@ -173,14 +198,17 @@ let write_doc figure doc =
 
 (* Unlike the figure files this one is written whole — a throughput run
    always sweeps every jobs value, so there are no panels to merge.
-   [cold] carries the optional cache-less sweep (--no-cache): the same
-   workload with the result cache disabled, so the warm rows' cache win
-   has an explicit denominator. *)
-let record_throughput ~dataset ~queries ~distinct ~cache_mb ?(cold = []) rows =
-  let cold_field =
-    match cold with
+   [cold] is the primary cache-off scaling sweep (always present);
+   [warm] the optional cache-served sweep (omitted under --cold-only).
+   [host_domains] records [Domain.recommended_domain_count] on the
+   machine that produced the artifact, so json_check can pick the right
+   cold-scaling floor. *)
+let record_throughput ~dataset ~queries ~distinct ~cache_mb ~host_domains
+    ~cold ~warm () =
+  let warm_field =
+    match warm with
     | [] -> []
-    | _ :: _ -> [ ("cold", J.List (List.map throughput_row_json cold)) ]
+    | _ :: _ -> [ ("rows", J.List (List.map throughput_row_json warm)) ]
   in
   write_doc "throughput"
     (J.Obj
@@ -191,9 +219,10 @@ let record_throughput ~dataset ~queries ~distinct ~cache_mb ?(cold = []) rows =
           ("queries", J.Int queries);
           ("distinct", J.Int distinct);
           ("cache_mb", J.Int cache_mb);
-          ("rows", J.List (List.map throughput_row_json rows));
+          ("host_domains", J.Int host_domains);
+          ("cold", J.List (List.map throughput_row_json cold));
         ]
-       @ cold_field))
+       @ warm_field))
 
 (* --- BENCH_serving.json: HTTP serving layer under offered load --- *)
 

@@ -72,10 +72,34 @@ let check_figure path figure doc =
 
 (* --- throughput: one row per jobs value over a shared workload --- *)
 
-(* Shared between the warm rows and the optional cold (cache-off)
-   section; both must carry a jobs=1 baseline their speedup column is
-   derived from. *)
-let check_throughput_rows path section rows =
+type tp_row = {
+  tr_jobs : int;
+  tr_workers : int;
+  tr_passes : float list;
+  tr_qps : float;
+  tr_speedup : float;
+  tr_vs_cold : float option;
+  tr_lookups : int;
+  tr_hits : int;
+}
+
+(* Must match Bench_json.median_ms exactly — every derived column is
+   recomputed from the raw per-pass timings below. *)
+let median l =
+  match Array.of_list (List.sort Float.compare l) with
+  | [||] -> fail "median of an empty pass list"
+  | sorted -> sorted.(Array.length sorted / 2)
+
+let close ~expect actual = Float.abs (actual -. expect) <= 0.001 *. expect
+
+(* Shared between the cold (cache-off, primary) and warm (cache-served)
+   sections.  Every row carries its raw per-pass timings, and every
+   derived column is re-derived here: elapsed_ms must be the median
+   pass, qps must follow from it, speedup must be the median of the
+   pass-paired ratios against the section's jobs=1 baseline, and
+   [workers] must equal the pool's documented capping of the requested
+   [jobs] at the host's domains. *)
+let check_throughput_rows path section ~host_domains ~total rows =
   if rows = [] then fail "%s: no %s rows" path section;
   let parsed =
     List.map
@@ -83,35 +107,120 @@ let check_throughput_rows path section rows =
         let num k = get k (Option.bind (J.member k row) J.to_float) in
         let int k = get k (Option.bind (J.member k row) J.to_int) in
         let jobs = int "jobs" in
+        let workers = int "workers" in
         let qps = num "qps" in
+        let elapsed = num "elapsed_ms" in
+        let passes =
+          List.map
+            (fun p -> get "pass elapsed" (J.to_float p))
+            (get "passes_ms" (Option.bind (J.member "passes_ms" row) J.to_list))
+        in
         if jobs < 1 then fail "%s/%s: jobs < 1" path section;
-        if num "elapsed_ms" <= 0.0 || qps <= 0.0 then
-          fail "%s/%s: non-positive timing at jobs=%d" path section jobs;
+        if workers <> min jobs (max 1 host_domains) then
+          fail
+            "%s/%s: workers=%d at jobs=%d inconsistent with capping at \
+             host_domains=%d"
+            path section workers jobs host_domains;
+        if passes = [] then fail "%s/%s: no passes at jobs=%d" path section jobs;
+        if List.exists (fun p -> p <= 0.0) passes then
+          fail "%s/%s: non-positive pass timing at jobs=%d" path section jobs;
+        if not (close ~expect:(median passes) elapsed) then
+          fail
+            "%s/%s: elapsed_ms %.4f at jobs=%d is not the median pass (%.4f)"
+            path section elapsed jobs (median passes);
+        if not (close ~expect:(float_of_int total /. (elapsed /. 1000.0)) qps)
+        then
+          fail "%s/%s: qps %.1f at jobs=%d inconsistent with elapsed_ms" path
+            section qps jobs;
         List.iter
           (fun k -> if int k < 0 then fail "%s/%s: negative %s" path section k)
           [ "cache_hits"; "cache_misses"; "cache_evictions" ];
-        (jobs, qps, num "speedup", int "cache_hits" + int "cache_misses"))
+        {
+          tr_jobs = jobs;
+          tr_workers = workers;
+          tr_passes = passes;
+          tr_qps = qps;
+          tr_speedup = num "speedup";
+          tr_vs_cold =
+            Option.bind (J.member "speedup_vs_cold" row) J.to_float;
+          tr_lookups = int "cache_hits" + int "cache_misses";
+          tr_hits = int "cache_hits";
+        })
       rows
   in
-  let jobs_seen = List.map (fun (j, _, _, _) -> j) parsed in
+  let jobs_seen = List.map (fun r -> r.tr_jobs) parsed in
   if List.length (List.sort_uniq Int.compare jobs_seen) <> List.length jobs_seen
   then fail "%s/%s: duplicate jobs rows" path section;
-  let base_qps =
-    match List.find_opt (fun (j, _, _, _) -> j = 1) parsed with
-    | Some (_, qps, _, _) -> qps
+  let base =
+    match List.find_opt (fun r -> r.tr_jobs = 1) parsed with
+    | Some r -> r
     | None -> fail "%s/%s: no jobs=1 baseline row" path section
   in
-  (* The speedup column must be derived from the qps column. *)
+  (* The speedup column must be the median pass-paired ratio. *)
   List.iter
-    (fun (jobs, qps, speedup, _) ->
-      let expect = qps /. base_qps in
-      if Float.abs (speedup -. expect) > 0.001 *. expect then
+    (fun r ->
+      if List.length r.tr_passes <> List.length base.tr_passes then
+        fail "%s/%s: jobs=%d pass count differs from the baseline's" path
+          section r.tr_jobs;
+      let expect =
+        median (List.map2 (fun b p -> b /. p) base.tr_passes r.tr_passes)
+      in
+      if not (close ~expect r.tr_speedup) then
         fail
-          "%s/%s: speedup %.3f at jobs=%d inconsistent with qps (expected \
-           %.3f)"
-          path section speedup jobs expect)
+          "%s/%s: speedup %.3f at jobs=%d inconsistent with paired passes \
+           (expected %.3f)"
+          path section r.tr_speedup r.tr_jobs expect)
     parsed;
   parsed
+
+(* The cold section is the scaling contract this artifact exists to
+   enforce.  On a real multi-core host (>= 4 domains) parallel cold
+   batches must actually pay off: jobs=2 at least 1.2x over jobs=1, and
+   the widest row must keep at least 80% of the jobs=2 speedup (no
+   collapse at higher fan-out).  On smaller hosts extra domains cannot
+   win anything — worker capping makes jobs>1 rows run the jobs=1
+   configuration — so the rule is an equivalence floor: jobs>1 must not
+   fall more than 15% below the baseline.  15%, not 5%: the rows are
+   identical configurations there, so the floor only has to separate
+   real overhead regressions (the mutex-queue pool this check was
+   written against cost 21% at size=1, and anti-scaled to 0.63x at
+   jobs=2) from measurement noise, and the paired-pass medians of
+   identical configs on a shared CI host were measured to disagree by
+   up to ~10% even with interleaved, rotated rounds. *)
+let check_cold_scaling path ~host_domains parsed =
+  let floor_small = 0.85 in
+  if host_domains >= 4 then begin
+    let jobs2 = List.find_opt (fun r -> r.tr_jobs = 2) parsed in
+    (match jobs2 with
+    | Some r when r.tr_speedup < 1.2 ->
+        fail "%s/cold: jobs=2 speedup %.2f below the 1.20 multi-core floor"
+          path r.tr_speedup
+    | Some _ | None -> ());
+    let widest =
+      List.fold_left
+        (fun acc r -> match acc with
+          | Some b when b.tr_jobs >= r.tr_jobs -> acc
+          | Some _ | None -> Some r)
+        None parsed
+    in
+    match (jobs2, widest) with
+    | Some r2, Some w when w.tr_jobs > 2 && w.tr_speedup < 0.8 *. r2.tr_speedup
+      ->
+        fail
+          "%s/cold: jobs=%d speedup %.2f collapsed below 80%% of jobs=2 \
+           (%.2f)"
+          path w.tr_jobs w.tr_speedup r2.tr_speedup
+    | _ -> ()
+  end
+  else
+    List.iter
+      (fun r ->
+        if r.tr_jobs > 1 && r.tr_speedup < floor_small then
+          fail
+            "%s/cold: jobs=%d speedup %.2f below the %.2f single-host floor \
+             (host_domains=%d)"
+            path r.tr_jobs r.tr_speedup floor_small host_domains)
+      parsed
 
 let check_throughput path doc =
   ignore (get "dataset" (Option.bind (J.member "dataset" doc) J.to_str) : string);
@@ -119,25 +228,61 @@ let check_throughput path doc =
     get "queries" (Option.bind (J.member "queries" doc) J.to_int)
   in
   if total < 1 then fail "%s: empty workload" path;
-  let rows = get "rows" (Option.bind (J.member "rows" doc) J.to_list) in
-  let parsed = check_throughput_rows path "rows" rows in
-  let cold_count =
-    match J.member "cold" doc with
-    | None -> 0
-    | Some cold ->
-        let cold_rows = get "cold rows" (J.to_list cold) in
-        let cold_parsed = check_throughput_rows path "cold" cold_rows in
-        (* The cold section is the cache-off sweep: any cache traffic
-           there means the flag did not reach the execution layer. *)
-        List.iter
-          (fun (jobs, _, _, cache_lookups) ->
-            if cache_lookups <> 0 then
-              fail "%s/cold: cache traffic at jobs=%d in a cache-off sweep"
-                path jobs)
-          cold_parsed;
-        List.length cold_parsed
+  let host_domains =
+    get "host_domains" (Option.bind (J.member "host_domains" doc) J.to_int)
   in
-  List.length parsed + cold_count
+  if host_domains < 1 then fail "%s: host_domains < 1" path;
+  let cold_rows =
+    get "cold rows" (Option.bind (J.member "cold" doc) J.to_list)
+  in
+  let cold_parsed =
+    check_throughput_rows path "cold" ~host_domains ~total cold_rows
+  in
+  (* Cache-off sweep: any cache traffic means the flag did not reach
+     the execution layer. *)
+  List.iter
+    (fun r ->
+      if r.tr_lookups <> 0 then
+        fail "%s/cold: cache traffic at jobs=%d in a cache-off sweep" path
+          r.tr_jobs)
+    cold_parsed;
+  check_cold_scaling path ~host_domains cold_parsed;
+  let cold_base_qps =
+    match List.find_opt (fun r -> r.tr_jobs = 1) cold_parsed with
+    | Some r -> r.tr_qps
+    | None -> assert false (* check_throughput_rows demands the baseline *)
+  in
+  let warm_count =
+    match J.member "rows" doc with
+    | None -> 0
+    | Some warm ->
+        let warm_rows = get "warm rows" (J.to_list warm) in
+        let warm_parsed =
+          check_throughput_rows path "rows" ~host_domains ~total warm_rows
+        in
+        List.iter
+          (fun r ->
+            (* Warm rows are cache-served by construction (pre-warmed
+               cache, same workload): a row with no hits measured the
+               wrong thing. *)
+            if r.tr_hits = 0 then
+              fail "%s/rows: warm row at jobs=%d saw no cache hits" path
+                r.tr_jobs;
+            match r.tr_vs_cold with
+            | None ->
+                fail "%s/rows: warm row at jobs=%d missing speedup_vs_cold"
+                  path r.tr_jobs
+            | Some s ->
+                let expect = r.tr_qps /. cold_base_qps in
+                if Float.abs (s -. expect) > 0.001 *. expect then
+                  fail
+                    "%s/rows: speedup_vs_cold %.3f at jobs=%d inconsistent \
+                     with cold jobs=1 qps (expected %.3f)"
+                    path s r.tr_jobs expect)
+          warm_parsed;
+        List.length warm_parsed
+  in
+  List.length cold_parsed + warm_count
 
 (* --- serving: the overload contract of the HTTP layer --- *)
 

@@ -408,7 +408,9 @@ let throughput_cmd =
       value
       & opt (list int) [ 1; 2; 4; 8 ]
       & info [ "jobs" ] ~docv:"N,.."
-          ~doc:"Worker counts to sweep (1 = sequential uncached baseline).")
+          ~doc:
+            "Worker counts to sweep (each row runs the batch through a \
+             pool of that size, capped at the host's domains).")
   in
   let queries =
     Arg.(
@@ -425,29 +427,38 @@ let throughput_cmd =
     Arg.(
       value & opt int 32
       & info [ "cache-mb" ] ~docv:"MB"
-          ~doc:"Result-cache size for the jobs > 1 rows.")
+          ~doc:"Result-cache size for the warm (cache-served) rows.")
   in
-  let no_cache =
+  let cold_only =
     Arg.(
       value & flag
-      & info [ "no-cache" ]
+      & info [ "cold-only" ]
           ~doc:
-            "Also sweep the cold path (result cache disabled) and emit it \
-             as the artifact's cold section.")
+            "Skip the warm (pre-warmed cache) sweep; emit only the \
+             primary cold scaling section.")
   in
-  let run () jobs queries distinct cache_mb cold =
+  let repeats =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:
+            "Interleaved timed passes per row; the median is recorded and \
+             speedups pair pass k against baseline pass k.")
+  in
+  let run () jobs queries distinct cache_mb cold_only repeats =
     Xks_bench.Throughput.run ~jobs_list:jobs ~queries ~distinct ~cache_mb
-      ~cold ()
+      ~cold_only ~repeats ()
   in
   Cmd.v
     (Cmd.info "throughput"
        ~doc:
          "Batch-execution throughput sweep (BENCH_throughput.json): the \
-          same zipf-repeat workload through the sequential path and \
-          through Exec.search_batch at each worker count.")
+          same zipf-repeat workload through Exec.search_batch at each \
+          worker count, cold (cache off, the scaling contract) and warm \
+          (cache-served).")
     Term.(
       const run $ scale_args $ jobs $ queries $ distinct $ cache_mb
-      $ no_cache)
+      $ cold_only $ repeats)
 
 let serving_cmd =
   let workers =

@@ -3,16 +3,31 @@
    Workload: [distinct] generated DBLP queries expanded to [queries]
    submissions under a Zipf(1.1) popularity law — a keyword-search
    service sees repeated queries, which is exactly what the result
-   cache exploits.  The jobs = 1 row is the pre-existing sequential
-   path (one Engine.search per query, no pool, no cache): the baseline
-   a single-query caller gets.  Rows with jobs > 1 push the same
-   workload through Exec.search_batch over a pool of [jobs] worker
-   domains fronted by a fresh [cache_mb] MB cache — cold at the start
-   of each row, so every hit comes from repeats inside the workload.
+   cache exploits.
 
-   On a single-core host the extra domains buy no parallelism, so the
-   speedup column isolates what the sharded cache earns on a
-   repeat-heavy workload; on a multi-core host both effects stack.
+   Two sections, both swept over the same jobs values and both running
+   through [Exec.search_batch] over a [Pool] (including jobs = 1, so
+   every row pays the same submission machinery and the speedup columns
+   measure {e scaling}, not pool-vs-no-pool overhead):
+
+   - The {b cold} section is the primary scaling measurement: result
+     cache off, every query computed.  This is where a scaling
+     regression shows — cold jobs > 1 must not be slower than cold
+     jobs = 1.  Each row records [workers], the pool's actual domain
+     count after capping at [Domain.recommended_domain_count]: on a
+     small host high jobs rows collapse onto the same worker count, and
+     their speedup legitimately flattens near 1.0 instead of sinking.
+
+   - The {b warm} section reruns the sweep with a per-row result cache
+     that is filled by an untimed pre-warming pass first, so the timed
+     pass is cache-served.  Its [speedup] column is normalised against
+     the {e warmed} jobs = 1 row — warm and cold rows are never mixed
+     in one ratio (an earlier version did exactly that and printed a
+     fantasy 14x).  The honest cache win is the separate
+     [speedup_vs_cold] column: warm qps over the cold jobs = 1 qps.
+
+   json_check validates the emitted BENCH_throughput.json, including
+   the cold-scaling floors keyed on the recorded [host_domains].
    EXPERIMENTS.md spells out the methodology. *)
 
 module Engine = Xks_core.Engine
@@ -40,7 +55,7 @@ let zipf_workload ~seed ~queries pool_queries =
   build queries []
 
 let run ?(jobs_list = [ 1; 2; 4; 8 ]) ?(queries = 400) ?(distinct = 40)
-    ?(cache_mb = 32) ?(cold = false) () =
+    ?(cache_mb = 32) ?(cold_only = false) ?(repeats = 3) () =
   let dataset = Datasets.find "dblp" in
   let engine = Runner.load dataset in
   let pool_queries =
@@ -54,98 +69,172 @@ let run ?(jobs_list = [ 1; 2; 4; 8 ]) ?(queries = 400) ?(distinct = 40)
   Array.iter
     (fun ws -> ignore (Engine.search engine ws : Engine.hit list))
     pool_queries;
-  let time_row ~use_cache jobs =
-    if jobs = 1 then
-      let elapsed_ms, () =
-        Runner.time_ms (fun () ->
-            List.iter
-              (fun ws -> ignore (Engine.search engine ws : Engine.hit list))
-              workload)
-      in
-      {
-        Bench_json.jobs;
-        elapsed_ms;
-        qps = float_of_int queries /. (elapsed_ms /. 1000.0);
-        speedup = 1.0;
-        cache_hits = 0;
-        cache_misses = 0;
-        cache_evictions = 0;
-      }
-    else
-      let cache =
-        if use_cache then
-          Some (Cache.create ~max_bytes:(cache_mb * 1024 * 1024) ())
-        else None
-      in
-      Pool.with_pool ~size:jobs (fun pool ->
-          let elapsed_ms, _ =
-            Runner.time_ms (fun () ->
-                Exec.search_batch ~pool ?cache engine workload)
-          in
-          let hits, misses, evictions =
-            match cache with
-            | None -> (0, 0, 0)
-            | Some c ->
-                let s = Cache.stats c in
-                (s.Cache.hits, s.Cache.misses, s.Cache.evictions)
-          in
-          {
-            Bench_json.jobs;
-            elapsed_ms;
-            qps = float_of_int queries /. (elapsed_ms /. 1000.0);
-            speedup = 1.0;
-            cache_hits = hits;
-            cache_misses = misses;
-            cache_evictions = evictions;
-          })
+  let stats cache =
+    match cache with
+    | Some c -> Cache.stats c
+    | None ->
+        { Cache.hits = 0; misses = 0; evictions = 0; entries = 0; bytes = 0 }
   in
-  (* Each sweep is normalized against its own jobs = 1 row, so the warm
-     and cold speedup columns stay comparable. *)
+  (* One section = the whole jobs sweep, timed as [repeats] {e
+     interleaved} round-robin passes (pass 1 of every row, then pass 2
+     of every row, ...) keeping each row's {e median} pass.  The rows
+     are compared against hard speedup floors downstream, which forces
+     two choices: interleaving — consecutive passes of one row share
+     whatever noise window (neighbor load, GC pacing) the host is in,
+     so best-of-consecutive carries a systematic skew between early and
+     late rows — and the median rather than the minimum, because on a
+     shared host the fastest pass is a fat-tailed lottery one row wins
+     and another doesn't, while medians of identically-distributed rows
+     agree.  Idle pools just park their workers on a condition
+     variable, so keeping all of them alive for the section costs
+     nothing measurable. *)
+  let sweep ~warm =
+    let cells =
+      List.map
+        (fun jobs ->
+          let pool = Pool.create ~size:jobs () in
+          let cache =
+            if warm then
+              Some (Cache.create ~max_bytes:(cache_mb * 1024 * 1024) ())
+            else None
+          in
+          (* Pre-warming pass, untimed: fills the cache so the timed
+             passes measure cache-served throughput, not fill cost. *)
+          (match cache with
+          | Some _ ->
+              ignore
+                (Exec.search_batch ~pool ?cache engine workload
+                  : Engine.hit list array)
+          | None -> ());
+          (jobs, pool, cache, ref []))
+        jobs_list
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter (fun (_, pool, _, _) -> Pool.shutdown pool) cells)
+      (fun () ->
+        let cells_arr = Array.of_list cells in
+        let ncells = Array.length cells_arr in
+        for pass = 0 to max 1 repeats - 1 do
+          (* Rotate the within-round order each round: the slot right
+             after a round boundary is systematically different from
+             the last slot (GC debt, cache state), and a fixed order
+             would hand that bias to the same row every round. *)
+          for j = 0 to ncells - 1 do
+            let _, pool, cache, passes = cells_arr.((pass + j) mod ncells) in
+            (* Settle the major heap before each pass, so GC pacing
+               drift across the sweep is not charged to late rows. *)
+            Gc.full_major ();
+            let before = stats cache in
+            let elapsed_ms, _ =
+              Runner.time_ms (fun () ->
+                  Exec.search_batch ~pool ?cache engine workload)
+            in
+            let after = stats cache in
+            passes := (elapsed_ms, before, after) :: !passes
+          done
+        done;
+        List.map
+          (fun (jobs, pool, _, passes) ->
+            let passes = List.rev !passes in
+            let passes_ms = List.map (fun (e, _, _) -> e) passes in
+            let elapsed_ms = Bench_json.median_ms passes_ms in
+            let before, after =
+              (* The cache-traffic columns report the median pass's
+                 stats delta. *)
+              match
+                List.find_opt (fun (e, _, _) -> e = elapsed_ms) passes
+              with
+              | Some (_, b, a) -> (b, a)
+              | None -> assert false
+            in
+            {
+              Bench_json.jobs;
+              workers = Pool.size pool;
+              passes_ms;
+              elapsed_ms;
+              qps = float_of_int queries /. (elapsed_ms /. 1000.0);
+              speedup = 1.0;
+              speedup_vs_cold = None;
+              cache_hits = after.Cache.hits - before.Cache.hits;
+              cache_misses = after.Cache.misses - before.Cache.misses;
+              cache_evictions = after.Cache.evictions - before.Cache.evictions;
+            })
+          cells)
+  in
+  (* Each section is normalized against its own jobs = 1 row, pairing
+     pass k against baseline pass k (see Bench_json.throughput_row). *)
   let normalize rows =
-    let base_qps =
+    let base =
       match List.find_opt (fun r -> r.Bench_json.jobs = 1) rows with
-      | Some r -> r.Bench_json.qps
+      | Some r -> r
       | None -> (
           match rows with
-          | r :: _ -> r.Bench_json.qps
+          | r :: _ -> r
           | [] -> invalid_arg "Throughput.run: empty jobs list")
     in
     List.map
-      (fun r -> { r with Bench_json.speedup = r.Bench_json.qps /. base_qps })
+      (fun r ->
+        {
+          r with
+          Bench_json.speedup =
+            Bench_json.median_ms
+              (List.map2 (fun b p -> b /. p) base.Bench_json.passes_ms
+                 r.Bench_json.passes_ms);
+        })
       rows
   in
   let print_table title rows =
     print_endline title;
-    Printf.printf "%6s %12s %10s %8s %10s %10s %10s\n" "jobs" "elapsed(ms)"
-      "qps" "speedup" "hits" "misses" "evicted";
+    Printf.printf "%6s %8s %12s %10s %8s %10s %10s %10s %10s\n" "jobs"
+      "workers" "elapsed(ms)" "qps" "speedup" "vs-cold" "hits" "misses"
+      "evicted";
     List.iter
       (fun (r : Bench_json.throughput_row) ->
-        Printf.printf "%6d %12.1f %10.1f %7.2fx %10d %10d %10d\n" r.jobs
-          r.elapsed_ms r.qps r.speedup r.cache_hits r.cache_misses
-          r.cache_evictions)
+        Printf.printf "%6d %8d %12.1f %10.1f %7.2fx %10s %10d %10d %10d\n"
+          r.jobs r.workers r.elapsed_ms r.qps r.speedup
+          (match r.speedup_vs_cold with
+          | Some s -> Printf.sprintf "%.2fx" s
+          | None -> "-")
+          r.cache_hits r.cache_misses r.cache_evictions)
       rows
   in
-  let rows = normalize (List.map (time_row ~use_cache:true) jobs_list) in
+  let cold_rows = normalize (sweep ~warm:false) in
   print_table
     (Printf.sprintf
        "\n\
-        ## Throughput (%s): %d queries, %d distinct, zipf repeats, cache %d \
-        MB"
-       dataset.Datasets.name queries distinct cache_mb)
-    rows;
-  let cold_rows =
-    if not cold then []
+        ## Throughput cold path (%s): %d queries, %d distinct, zipf \
+        repeats, result cache off"
+       dataset.Datasets.name queries distinct)
+    cold_rows;
+  let cold_base_qps =
+    match List.find_opt (fun r -> r.Bench_json.jobs = 1) cold_rows with
+    | Some r -> Some r.Bench_json.qps
+    | None -> None
+  in
+  let warm_rows =
+    if cold_only then []
     else begin
-      let cold_rows =
-        normalize (List.map (time_row ~use_cache:false) jobs_list)
+      let rows =
+        normalize (sweep ~warm:true)
+        |> List.map (fun r ->
+               {
+                 r with
+                 Bench_json.speedup_vs_cold =
+                   Option.map (fun b -> r.Bench_json.qps /. b) cold_base_qps;
+               })
       in
       print_table
         (Printf.sprintf
-           "\n## Throughput cold path (%s): same workload, result cache off"
-           dataset.Datasets.name)
-        cold_rows;
-      cold_rows
+           "\n\
+            ## Throughput warm path (%s): same workload, cache-served \
+            (pre-warmed %d MB cache)"
+           dataset.Datasets.name cache_mb)
+        rows;
+      rows
     end
   in
   Bench_json.record_throughput ~dataset:dataset.Datasets.name ~queries
-    ~distinct ~cache_mb ~cold:cold_rows rows
+    ~distinct ~cache_mb
+    ~host_domains:(Domain.recommended_domain_count ())
+    ~cold:cold_rows ~warm:warm_rows ()

@@ -1,21 +1,30 @@
 (* Dynamic complement of tools/race/xksrace: a lock-free access journal
    filled by the cache's [instrument] hook and replayed against the
-   lock-held invariant.
+   reader/writer-lock invariant.
 
    Events are appended with a CAS loop (never a lock of our own — the
    journal must not serialize the contention it is observing) and carry
    a global sequence number.  The producer protocol (Exec.Cache) takes
-   the sequence number while the shard mutex is held, so for any single
-   shard the sequence order is consistent with its critical-section
-   order, which is exactly what the replay needs: per shard, the journal
-   must read as well-nested [Lock … accesses … Unlock] sections, every
-   Read/Write falling inside a section opened by the same domain. *)
+   the sequence number while the relevant section is open, so for any
+   single shard the sequence order is consistent with its real-time
+   section order — which is what the replay needs.  Per shard the
+   journal must read as: exclusive [Lock … Unlock] sections that
+   overlap nothing, shared [Rlock … Runlock] sections that may overlap
+   each other freely, every [Write] inside an exclusive section opened
+   by the same domain, and every [Read] inside an exclusive or shared
+   section opened by the same domain.  (Two events of one writer
+   section can never interleave a reader's pair: the rwlock excludes
+   the sections in real time and every event is recorded strictly
+   inside its section, so the monotone sequence numbers separate
+   them.) *)
 
-type op = Lock | Unlock | Read | Write
+type op = Lock | Unlock | Rlock | Runlock | Read | Write
 
 let op_name = function
   | Lock -> "lock"
   | Unlock -> "unlock"
+  | Rlock -> "rlock"
+  | Runlock -> "runlock"
   | Read -> "read"
   | Write -> "write"
 
@@ -45,6 +54,8 @@ let instrument t shard op =
     (match op with
     | Xks_exec.Cache.Lock -> Lock
     | Xks_exec.Cache.Unlock -> Unlock
+    | Xks_exec.Cache.Rlock -> Rlock
+    | Xks_exec.Cache.Runlock -> Runlock
     | Xks_exec.Cache.Read -> Read
     | Xks_exec.Cache.Write -> Write)
 
@@ -59,8 +70,9 @@ let describe e =
   Printf.sprintf "seq %d: domain %d %s on shard %d" e.seq e.domain
     (op_name e.op) e.shard
 
-(* Replay one shard's journal slice: a [holder] of the shard mutex (or
-   none), advanced event by event. *)
+(* Replay one shard's journal slice: an exclusive [writer] of the shard
+   (or none) plus the multiset of domains holding shared read sections,
+   advanced event by event. *)
 let check t =
   let violations = ref [] in
   let flag rule e detail =
@@ -68,27 +80,90 @@ let check t =
       { Invariant.rule; detail = Printf.sprintf "%s (%s)" detail (describe e) }
       :: !violations
   in
-  let holders : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* shard -> exclusive holder *)
+  let writers : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* (shard, domain) -> open shared-section count *)
+  let readers : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  let reader_count shard =
+    Hashtbl.fold
+      (fun (s, _) n acc -> if s = shard then acc + n else acc)
+      readers 0
+  in
+  let holds_read e =
+    match Hashtbl.find_opt readers (e.shard, e.domain) with
+    | Some n -> n > 0
+    | None -> false
+  in
   List.iter
     (fun e ->
-      match (e.op, Hashtbl.find_opt holders e.shard) with
-      | Lock, Some d ->
-          flag "race-double-lock" e
-            (Printf.sprintf
-               "shard %d locked while domain %d already holds it" e.shard d)
-      | Lock, None -> Hashtbl.replace holders e.shard e.domain
-      | Unlock, Some d when d = e.domain -> Hashtbl.remove holders e.shard
-      | Unlock, Some d ->
-          flag "race-foreign-unlock" e
-            (Printf.sprintf "shard %d is held by domain %d" e.shard d)
-      | Unlock, None -> flag "race-unheld-unlock" e "shard is not locked"
-      | (Read | Write), Some d when d = e.domain -> ()
-      | (Read | Write), Some d ->
-          flag "race-access-wrong-holder" e
-            (Printf.sprintf "shard %d is held by domain %d" e.shard d)
-      | (Read | Write), None ->
-          flag "race-unlocked-access" e
-            "guarded shard state accessed with no lock held")
+      let writer = Hashtbl.find_opt writers e.shard in
+      match e.op with
+      | Lock -> (
+          match writer with
+          | Some d ->
+              flag "race-double-lock" e
+                (Printf.sprintf
+                   "shard %d write-locked while domain %d already holds it"
+                   e.shard d)
+          | None ->
+              if reader_count e.shard > 0 then
+                flag "race-lock-amid-readers" e
+                  (Printf.sprintf
+                     "shard %d write-locked while %d read section(s) are open"
+                     e.shard (reader_count e.shard))
+              else Hashtbl.replace writers e.shard e.domain)
+      | Unlock -> (
+          match writer with
+          | Some d when d = e.domain -> Hashtbl.remove writers e.shard
+          | Some d ->
+              flag "race-foreign-unlock" e
+                (Printf.sprintf "shard %d is held by domain %d" e.shard d)
+          | None -> flag "race-unheld-unlock" e "shard is not write-locked")
+      | Rlock -> (
+          match writer with
+          | Some d ->
+              flag "race-rlock-under-writer" e
+                (Printf.sprintf
+                   "read section opened on shard %d while domain %d holds the \
+                    write lock"
+                   e.shard d)
+          | None ->
+              let key = (e.shard, e.domain) in
+              let n =
+                match Hashtbl.find_opt readers key with Some n -> n | None -> 0
+              in
+              Hashtbl.replace readers key (n + 1))
+      | Runlock -> (
+          match Hashtbl.find_opt readers (e.shard, e.domain) with
+          | Some n when n > 0 ->
+              if n = 1 then Hashtbl.remove readers (e.shard, e.domain)
+              else Hashtbl.replace readers (e.shard, e.domain) (n - 1)
+          | Some _ | None ->
+              flag "race-unheld-read-unlock" e
+                "domain closed a read section it never opened")
+      | Write -> (
+          match writer with
+          | Some d when d = e.domain -> ()
+          | Some d ->
+              flag "race-access-wrong-holder" e
+                (Printf.sprintf "shard %d is held by domain %d" e.shard d)
+          | None ->
+              if holds_read e then
+                flag "race-write-under-read-lock" e
+                  "guarded shard state written inside a shared read section"
+              else
+                flag "race-unlocked-access" e
+                  "guarded shard state written with no lock held")
+      | Read -> (
+          match writer with
+          | Some d when d = e.domain -> ()
+          | Some d ->
+              flag "race-access-wrong-holder" e
+                (Printf.sprintf "shard %d is held by domain %d" e.shard d)
+          | None ->
+              if not (holds_read e) then
+                flag "race-unlocked-access" e
+                  "guarded shard state read with no section open"))
     (events t);
   Hashtbl.iter
     (fun shard d ->
@@ -97,8 +172,23 @@ let check t =
           Invariant.rule = "race-leaked-lock";
           detail =
             Printf.sprintf
-              "shard %d still held by domain %d at end of journal" shard d;
+              "shard %d still write-locked by domain %d at end of journal"
+              shard d;
         }
         :: !violations)
-    holders;
+    writers;
+  Hashtbl.iter
+    (fun (shard, d) n ->
+      if n > 0 then
+        violations :=
+          {
+            Invariant.rule = "race-leaked-read-lock";
+            detail =
+              Printf.sprintf
+                "shard %d: %d read section(s) of domain %d still open at end \
+                 of journal"
+                shard n d;
+          }
+          :: !violations)
+    readers;
   List.rev !violations

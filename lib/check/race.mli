@@ -4,17 +4,19 @@
     The static analyzer proves the lock discipline is followed
     {e syntactically}; this journal replays what actually happened at
     run time.  Feed {!instrument} to {!Xks_exec.Cache.create}, drive the
-    cache from several domains, then {!check}: every [Read]/[Write] a
-    shard reported must fall inside a [Lock]/[Unlock] section opened by
-    the same domain, locks must not be re-taken while held, and no
-    section may be left open.
+    cache from several domains, then {!check}: exclusive
+    [Lock]/[Unlock] sections must overlap nothing, shared
+    [Rlock]/[Runlock] sections may overlap each other but never a write
+    section, every [Write] must fall inside a write section opened by
+    the same domain, every [Read] inside a write or read section opened
+    by the same domain, and no section may be left open.
 
     Recording is lock-free (CAS append) so the journal never serializes
-    the contention it is observing; sequence numbers are taken while the
-    producer holds the shard mutex, which makes each shard's slice of
-    the journal consistent with its critical-section order. *)
+    the contention it is observing; sequence numbers are taken while
+    the producer's section is open, which makes each shard's slice of
+    the journal consistent with its real-time section order. *)
 
-type op = Lock | Unlock | Read | Write
+type op = Lock | Unlock | Rlock | Runlock | Read | Write
 
 type event = { domain : int; shard : int; op : op; seq : int }
 
@@ -37,8 +39,11 @@ val events : t -> event list
 val length : t -> int
 
 val check : t -> Invariant.violation list
-(** Replay the journal against the lock-held invariant.  Violation
-    rules: [race-double-lock], [race-foreign-unlock],
-    [race-unheld-unlock], [race-access-wrong-holder],
-    [race-unlocked-access], [race-leaked-lock].  Empty = every access
-    respected the discipline. *)
+(** Replay the journal against the reader/writer-lock invariant.
+    Violation rules: [race-double-lock], [race-lock-amid-readers],
+    [race-foreign-unlock], [race-unheld-unlock],
+    [race-rlock-under-writer], [race-unheld-read-unlock],
+    [race-write-under-read-lock], [race-access-wrong-holder],
+    [race-unlocked-access], [race-leaked-lock],
+    [race-leaked-read-lock].  Empty = every access respected the
+    discipline. *)

@@ -49,11 +49,20 @@ let construct ?(cid_mode = Cid.Approx) (q : Query.t) (rtf : Rtf.t) =
     in
     up id
   in
+  (* Keyword-node features come from the index's precomputed table when
+     it is available (Approx mode only — the table stores (min, max)
+     pairs).  The fallback re-tokenises the node as before; it covers
+     Exact mode and queries built by [of_postings] without a table. *)
+  let feature kn =
+    match cid_mode with
+    | Cid.Approx when Array.length q.approx_cids > 0 -> q.approx_cids.(kn)
+    | Cid.Approx | Cid.Exact ->
+        Cid.of_words cid_mode (Tree.content_words doc (Tree.node doc kn))
+  in
   Array.iter
     (fun kn ->
       let klist = Query.node_klist q kn in
-      let cid = Cid.of_words cid_mode (Tree.content_words doc (Tree.node doc kn)) in
-      transfer kn klist cid)
+      transfer kn klist (feature kn))
     rtf.knodes;
   let root_info = obtain rtf.lca in
   (* Children were prepended as discovered; keyword nodes arrive in

@@ -5,6 +5,7 @@ type t = {
   doc : Xks_xml.Tree.t;
   keywords : string array;
   postings : int array array;
+  approx_cids : Xks_index.Cid.t array;
 }
 
 let make ?(order = `Given) idx ws =
@@ -50,9 +51,14 @@ let make ?(order = `Given) idx ws =
         ( Array.map (fun i -> keywords.(i)) order,
           Array.map (fun i -> postings.(i)) order )
   in
-  { doc = Xks_index.Inverted.doc idx; keywords; postings }
+  {
+    doc = Xks_index.Inverted.doc idx;
+    keywords;
+    postings;
+    approx_cids = Xks_index.Inverted.approx_cids idx;
+  }
 
-let of_postings doc ~keywords postings =
+let of_postings ?(approx_cids = [||]) doc ~keywords postings =
   if keywords = [] then invalid_arg "Query.of_postings: empty query";
   if List.length keywords <> Array.length postings then
     invalid_arg "Query.of_postings: arity mismatch";
@@ -71,7 +77,10 @@ let of_postings doc ~keywords postings =
             invalid_arg "Query.of_postings: posting not sorted")
         posting)
     postings;
-  { doc; keywords = Array.of_list keywords; postings }
+  if Array.length approx_cids <> 0
+     && Array.length approx_cids <> Xks_xml.Tree.size doc
+  then invalid_arg "Query.of_postings: approx_cids size mismatch";
+  { doc; keywords = Array.of_list keywords; postings; approx_cids }
 
 let k q = Array.length q.keywords
 let has_results q = Array.for_all (fun s -> Array.length s > 0) q.postings

@@ -9,6 +9,11 @@ type t = private {
   doc : Xks_xml.Tree.t;
   keywords : string array;  (** normalised, distinct, in query order *)
   postings : int array array;  (** one sorted id array per keyword *)
+  approx_cids : Xks_index.Cid.t array;
+      (** per-node approximate content features, indexed by node id —
+          {!Xks_index.Inverted.approx_cids} when the query was prepared
+          from an index, [[||]] (unavailable) otherwise.  Lets the
+          pruning stage skip re-tokenising the document per query. *)
 }
 
 val make :
@@ -29,14 +34,19 @@ val make :
     distinct keywords. *)
 
 val of_postings :
+  ?approx_cids:Xks_index.Cid.t array ->
   Xks_xml.Tree.t -> keywords:string list -> int array array -> t
 (** [of_postings doc ~keywords postings] builds a query whose posting
     lists were computed elsewhere (e.g. filtered by {!Labeled} conditions
     or fetched via {!Xks_index.Rel_store}).  Keywords must be distinct and
     non-empty; each posting list must be sorted, duplicate-free and
-    reference ids of [doc].
-    @raise Invalid_argument when those conditions fail or the arities
-    differ. *)
+    reference ids of [doc].  [approx_cids] (default [[||]], meaning
+    unavailable) forwards a precomputed per-node feature table — pass the
+    source index's {!Xks_index.Inverted.approx_cids} when postings were
+    merely filtered, as {!Scoped} does.
+    @raise Invalid_argument when those conditions fail, the arities
+    differ, or [approx_cids] is non-empty with a length other than the
+    document size. *)
 
 val k : t -> int
 (** Number of (distinct) keywords. *)

@@ -21,7 +21,7 @@ let query idx ~path ws =
   let scope = Path.eval_ids doc (Path.parse path) in
   let base = Query.make idx ws in
   let postings = restrict_postings doc ~scope base.Query.postings in
-  Query.of_postings doc
+  Query.of_postings ~approx_cids:base.Query.approx_cids doc
     ~keywords:(Array.to_list base.Query.keywords)
     postings
 

@@ -1,4 +1,4 @@
-(* Sharded LRU cache of whole query results.
+(* Sharded LRU cache of whole query results, with read-mostly shards.
 
    The key identifies everything that determines a search answer: the
    engine instance (by its process-unique id — a rebuilt or reloaded
@@ -8,13 +8,26 @@
    (two queries governed by the same limits share an entry; an
    unbudgeted query never shares with a budgeted one).
 
-   Concurrency: N independently mutex-guarded shards, so concurrent
-   lookups from pool workers contend only when they hash to the same
-   shard.  Capacity is split evenly across shards and accounted in
-   approximate bytes; eviction is strict LRU per shard.  The lock
-   discipline is machine-checked two ways: statically by xksrace (the
-   guarded_by/requires_lock/locks annotations below) and dynamically by
-   Xks_check.Race over the journal produced through [instrument]. *)
+   Concurrency: N independent shards, each behind a [Rwlock].  Lookups
+   — the overwhelmingly common operation on a warm cache — run in a
+   shared read section, so concurrent pool workers hitting the same
+   shard no longer serialize; only insert, evict and clear take the
+   exclusive write lock.  What makes the read path read-only is the LRU
+   representation: instead of a doubly-linked recency list (whose
+   find-time unlink/push-front surgery forced every lookup to be a
+   writer), each entry carries an atomic stamp from a cache-global
+   atomic clock.  A hit bumps the entry's stamp — an atomic store,
+   legal under the shared latch — and eviction scans the shard for the
+   minimum stamp while holding the write lock (shards are small, and
+   eviction already pays a hash-table delete).  Stamps strictly
+   increase, so eviction order is exactly least-recently-accessed, as
+   the LRU tests pin.
+
+   Capacity is split evenly across shards and accounted in approximate
+   bytes.  The lock discipline is machine-checked two ways: statically
+   by xksrace (the guarded_by/requires_lock/locks annotations below)
+   and dynamically by Xks_check.Race over the journal produced through
+   [instrument], whose replay understands overlapping read sections. *)
 
 module Engine = Xks_core.Engine
 module Fragment = Xks_core.Fragment
@@ -52,30 +65,27 @@ let key ~engine ~algorithm ~budget_class ws =
           budget_class;
         }
 
-(* Doubly-linked LRU list, newest at the front. *)
 type node = {
   nkey : key;
   value : Engine.search_result;
   cost : int;
-  mutable newer : node option;  (* xksrace: guarded_by mutex *)
-  mutable older : node option;  (* xksrace: guarded_by mutex *)
+  stamp : int Atomic.t;  (* global-clock tick of the last access *)
 }
 
-type access = Lock | Unlock | Read | Write
+type access = Lock | Unlock | Rlock | Runlock | Read | Write
 
 type shard = {
   idx : int;
-  mutex : Mutex.t;
+  lock : Rwlock.t;
   capacity : int;
-  table : (key, node) Hashtbl.t;  (* xksrace: guarded_by mutex *)
-  mutable newest : node option;  (* xksrace: guarded_by mutex *)
-  mutable oldest : node option;  (* xksrace: guarded_by mutex *)
-  mutable bytes : int;  (* xksrace: guarded_by mutex *)
+  table : (key, node) Hashtbl.t;  (* xksrace: guarded_by lock *)
+  mutable bytes : int;  (* xksrace: guarded_by lock *)
 }
 
 type t = {
   shards : shard array;
   mask : int;
+  clock : int Atomic.t;  (* LRU stamp source, shared by all shards *)
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
@@ -94,14 +104,13 @@ let create ?(shards = 8) ?instrument ~max_bytes () =
       Array.init n (fun idx ->
           {
             idx;
-            mutex = Mutex.create ();
+            lock = Rwlock.create ();
             table = Hashtbl.create 64;
-            newest = None;
-            oldest = None;
             bytes = 0;
             capacity;
           });
     mask = n - 1;
+    clock = Atomic.make 0;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     evictions = Atomic.make 0;
@@ -125,49 +134,44 @@ let cost_of (r : Engine.search_result) =
     (fun acc (h : Engine.hit) -> acc + 160 + (24 * Fragment.size h.fragment))
     128 r.hits
 
-(* Shard-internal list surgery; caller holds the shard mutex. *)
+(* The two locking wrappers.  [read_locked] sections may overlap each
+   other (that is the point); they must only read the guarded shard
+   state — plus atomic stamp bumps, which need no latch of their own.
+   [write_locked] is exclusive, as the old per-shard mutex was. *)
 
-(* xksrace: requires_lock mutex *)
-let unlink s n =
-  (match n.newer with
-  | Some nw -> nw.older <- n.older
-  | None -> s.newest <- n.older);
-  (match n.older with
-  | Some ol -> ol.newer <- n.newer
-  | None -> s.oldest <- n.newer);
-  n.newer <- None;
-  n.older <- None
+(* xksrace: locks lock *)
+let read_locked t s f =
+  Rwlock.read_lock s.lock;
+  observe t s Rlock;
+  Fun.protect
+    ~finally:(fun () ->
+      observe t s Runlock;
+      Rwlock.read_unlock s.lock)
+    f
 
-(* xksrace: requires_lock mutex *)
-let push_front s n =
-  n.older <- s.newest;
-  n.newer <- None;
-  (match s.newest with
-  | Some old_front -> old_front.newer <- Some n
-  | None -> s.oldest <- Some n);
-  s.newest <- Some n
-
-(* xksrace: locks mutex *)
-let locked t s f =
-  Mutex.lock s.mutex;
+(* xksrace: locks lock *)
+let write_locked t s f =
+  Rwlock.write_lock s.lock;
   observe t s Lock;
   Fun.protect
     ~finally:(fun () ->
       observe t s Unlock;
-      Mutex.unlock s.mutex)
+      Rwlock.write_unlock s.lock)
     f
 
 let find t k =
   let s = shard_of t k in
   let result =
-    locked t s (fun () ->
+    read_locked t s (fun () ->
         observe t s Read;
         match Hashtbl.find_opt s.table k with
         | None -> None
         | Some n ->
-            observe t s Write;
-            unlink s n;
-            push_front s n;
+            (* LRU refresh without list surgery: bump the entry's stamp
+               to the next global clock tick.  Concurrent hits on the
+               same entry race to the newer tick — either order is a
+               correct recency. *)
+            Atomic.set n.stamp (Atomic.fetch_and_add t.clock 1);
             Some n.value)
   in
   (match result with
@@ -179,32 +183,51 @@ let find t k =
       Trace.incr Trace.Cache_misses);
   result
 
+(* Evict the least-recently-stamped entry; caller holds the write
+   lock, which excludes the readers that bump stamps, so the scan is
+   stable. *)
+(* xksrace: requires_lock lock *)
+let evict_lru s =
+  let victim =
+    Hashtbl.fold
+      (fun _ n best ->
+        match best with
+        | Some b when Atomic.get b.stamp <= Atomic.get n.stamp -> best
+        | Some _ | None -> Some n)
+      s.table None
+  in
+  match victim with
+  | None -> assert false (* bytes > 0 ⇒ an entry exists *)
+  | Some v ->
+      Hashtbl.remove s.table v.nkey;
+      s.bytes <- s.bytes - v.cost
+
 let add t k value =
   let s = shard_of t k in
   let cost = cost_of value in
   if cost <= s.capacity then begin
     let evicted =
-      locked t s (fun () ->
+      write_locked t s (fun () ->
           observe t s Write;
           (match Hashtbl.find_opt s.table k with
           | Some old ->
-              unlink s old;
               Hashtbl.remove s.table k;
               s.bytes <- s.bytes - old.cost
           | None -> ());
-          let n = { nkey = k; value; cost; newer = None; older = None } in
+          let n =
+            {
+              nkey = k;
+              value;
+              cost;
+              stamp = Atomic.make (Atomic.fetch_and_add t.clock 1);
+            }
+          in
           Hashtbl.replace s.table k n;
-          push_front s n;
           s.bytes <- s.bytes + cost;
           let evicted = ref 0 in
           while s.bytes > s.capacity do
-            match s.oldest with
-            | None -> assert false (* bytes > 0 ⇒ a node exists *)
-            | Some victim ->
-                unlink s victim;
-                Hashtbl.remove s.table victim.nkey;
-                s.bytes <- s.bytes - victim.cost;
-                incr evicted
+            evict_lru s;
+            incr evicted
           done;
           !evicted)
     in
@@ -217,11 +240,9 @@ let add t k value =
 let clear t =
   Array.iter
     (fun s ->
-      locked t s (fun () ->
+      write_locked t s (fun () ->
           observe t s Write;
           Hashtbl.reset s.table;
-          s.newest <- None;
-          s.oldest <- None;
           s.bytes <- 0))
     t.shards
 
@@ -237,7 +258,7 @@ let stats t =
   let entries = ref 0 and bytes = ref 0 in
   Array.iter
     (fun s ->
-      locked t s (fun () ->
+      read_locked t s (fun () ->
           observe t s Read;
           entries := !entries + Hashtbl.length s.table;
           bytes := !bytes + s.bytes))

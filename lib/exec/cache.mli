@@ -1,4 +1,4 @@
-(** Sharded LRU cache of whole query results.
+(** Sharded LRU cache of whole query results, with read-mostly shards.
 
     Keys capture everything that determines a search answer: the engine
     {e instance} ({!Xks_core.Engine.id} — a rebuilt or reloaded index
@@ -9,10 +9,15 @@
     {!Xks_core.Engine.search_result}s, shared structurally — they are
     immutable.
 
-    The table is split into N independently mutex-guarded shards (no
-    global lock): concurrent pool workers contend only when their keys
-    hash to the same shard.  Capacity is approximate bytes, split evenly
-    across shards; eviction is strict per-shard LRU.  Every lookup and
+    The table is split into N independent shards, each behind a
+    {!Rwlock}: lookups run in a shared read section (concurrent pool
+    workers hitting one shard overlap instead of serializing), while
+    insert, evict and clear take the exclusive write lock.  Recency is
+    tracked by per-entry atomic stamps from a global atomic clock — a
+    hit is an atomic store, not linked-list surgery — and eviction
+    scans the shard for the minimum stamp under the write lock, so
+    eviction order is exactly least-recently-accessed.  Capacity is
+    approximate bytes, split evenly across shards.  Every lookup and
     eviction ticks the {!Xks_trace.Trace} cache counters as well as the
     cache's own {!stats}. *)
 
@@ -37,12 +42,15 @@ val key :
 
 type t
 
-type access = Lock | Unlock | Read | Write
-(** One instrumented shard access, as reported to [instrument]: the
-    shard mutex being taken / released, and reads/writes of the shard's
-    guarded state performed while it is held.  Consumed by
-    [Xks_check.Race] to replay the journal against the lock-held
-    invariant. *)
+type access = Lock | Unlock | Rlock | Runlock | Read | Write
+(** One instrumented shard access, as reported to [instrument]:
+    [Lock]/[Unlock] bracket an exclusive write section,
+    [Rlock]/[Runlock] a shared read section (several may overlap on one
+    shard — that is the design), and [Read]/[Write] are accesses to the
+    shard's guarded state inside whichever section is open.  Consumed
+    by [Xks_check.Race] to replay the journal against the
+    reader/writer-lock invariant: a [Write] needs the write section, a
+    [Read] either kind, and write sections may never overlap anything. *)
 
 val create :
   ?shards:int -> ?instrument:(int -> access -> unit) -> max_bytes:int ->
@@ -51,9 +59,9 @@ val create :
     [shards] (default 8, rounded up to a power of two) independent
     shards.  When [instrument] is given it is called as
     [instrument shard_index access] from inside every cache operation
-    ([Lock]/[Unlock] from the locking wrapper itself, [Read]/[Write]
-    between them); it runs on the calling domain with the shard mutex
-    held, so it must be cheap and must not call back into the cache.
+    (section events from the locking wrappers themselves, [Read]/[Write]
+    between them); it runs on the calling domain with the section still
+    open, so it must be cheap and must not call back into the cache.
     @raise Invalid_argument on [shards < 1] or negative [max_bytes]. *)
 
 val shard_count : t -> int
@@ -63,8 +71,9 @@ val shard_index : t -> key -> int
     can construct deliberate shard collisions for contention stress. *)
 
 val find : t -> key -> Xks_core.Engine.search_result option
-(** Lookup; a hit refreshes the entry's LRU position.  Ticks
-    {!Xks_trace.Trace.Cache_hits} / [Cache_misses]. *)
+(** Lookup; a hit refreshes the entry's LRU stamp.  Runs in a shared
+    read section — concurrent [find]s on one shard do not serialize.
+    Ticks {!Xks_trace.Trace.Cache_hits} / [Cache_misses]. *)
 
 val add : t -> key -> Xks_core.Engine.search_result -> unit
 (** Insert (or refresh) an entry, evicting least-recently-used entries

@@ -1,0 +1,79 @@
+(* A mutex-guarded work-stealing deque: one per pool worker.
+
+   The owner pushes and pops at the bottom (LIFO — freshly pushed work
+   is cache-hot), thieves steal from the top (FIFO — the oldest task,
+   which for chunked batches is also the biggest remaining slice of
+   work).  A single mutex per deque is deliberate: operations are a few
+   loads and stores, and the whole point of per-worker deques is that
+   this mutex is *uncontended* on the owner's fast path — stealing only
+   touches it when a worker has run dry.  (A Chase-Lev lock-free deque
+   would shave the futex fast path; it would also need fences this repo
+   cannot machine-check.  The xksrace/lock-journal tooling verifies
+   mutex discipline, so the mutex variant is the one we can keep
+   honest.)
+
+   Storage is a growable ring buffer: [head] is the logical index of
+   the oldest element, [tail] the next free slot; both only grow, and
+   [buf.(i land (capacity - 1))] holds logical slot [i] (capacity is a
+   power of two). *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  mutable buf : 'a option array;  (* xksrace: guarded_by mutex *)
+  mutable head : int;  (* xksrace: guarded_by mutex *)
+  mutable tail : int;  (* xksrace: guarded_by mutex *)
+}
+
+let create ?(capacity = 16) () =
+  let rec pow2 acc = if acc >= capacity && acc >= 2 then acc else pow2 (acc * 2) in
+  {
+    mutex = Mutex.create ();
+    buf = Array.make (pow2 2) None;
+    head = 0;
+    tail = 0;
+  }
+
+(* xksrace: requires_lock mutex *)
+let grow d =
+  let old = d.buf in
+  let n = Array.length old in
+  let buf = Array.make (2 * n) None in
+  for i = d.head to d.tail - 1 do
+    buf.(i land ((2 * n) - 1)) <- old.(i land (n - 1))
+  done;
+  d.buf <- buf
+
+let push d x =
+  Mutex.protect d.mutex (fun () ->
+      if d.tail - d.head = Array.length d.buf then grow d;
+      d.buf.(d.tail land (Array.length d.buf - 1)) <- Some x;
+      d.tail <- d.tail + 1)
+
+(* xksrace: requires_lock mutex *)
+let take d i =
+  let slot = i land (Array.length d.buf - 1) in
+  let x = d.buf.(slot) in
+  d.buf.(slot) <- None;
+  (* the slot is cleared so the buffer never pins a dead task closure *)
+  x
+
+let pop d =
+  Mutex.protect d.mutex (fun () ->
+      if d.tail = d.head then None
+      else begin
+        d.tail <- d.tail - 1;
+        take d d.tail
+      end)
+
+let steal d =
+  Mutex.protect d.mutex (fun () ->
+      if d.tail = d.head then None
+      else begin
+        let x = take d d.head in
+        d.head <- d.head + 1;
+        x
+      end)
+
+let length d = Mutex.protect d.mutex (fun () -> d.tail - d.head)
+
+let is_empty d = length d = 0

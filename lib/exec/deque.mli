@@ -1,0 +1,33 @@
+(** A mutex-guarded work-stealing deque (one per {!Pool} worker).
+
+    The owner works the bottom — {!push} then {!pop} is LIFO, so a
+    worker runs its freshest (cache-hot) task first — while thieves
+    {!steal} from the top in FIFO order, taking the oldest task.  With
+    {!Pool.run_all}'s chunked submission the oldest task is also the
+    largest remaining slice of the batch, so one steal rebalances a lot
+    of work.
+
+    Every operation takes the deque's own mutex; the concurrency win
+    over a shared queue is that the owner's mutex is uncontended unless
+    someone is actively stealing from it.  All operations are safe from
+    any domain. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty deque ([capacity] is just the initial ring size — deques
+    grow on demand, rounded up to a power of two). *)
+
+val push : 'a t -> 'a -> unit
+(** Owner: add a task at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner: remove the most recently pushed task (LIFO), [None] when
+    empty. *)
+
+val steal : 'a t -> 'a option
+(** Thief: remove the oldest task (FIFO), [None] when empty. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

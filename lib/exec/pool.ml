@@ -1,21 +1,40 @@
-(* A fixed-size Domain worker pool with a mutex/condvar work queue.
+(* A fixed-size Domain worker pool over per-worker work-stealing
+   deques.
 
-   Workers block on [wake] while the queue is empty; [submit] enqueues a
-   closure and signals.  Shutdown is graceful: workers drain whatever is
-   already queued, then exit.  The pool carries no knowledge of queries
-   — [Exec] builds the batch semantics on top of [run_all].
+   The previous design fed every worker from one mutex/condvar queue:
+   each of a batch's tasks cost a lock round-trip and a condvar signal
+   on the single shared mutex, and profiling the cold throughput sweep
+   showed the workers serializing on exactly that hand-off.  Now every
+   worker owns a [Deque]: submission round-robins across the deques, a
+   worker pops its own deque LIFO and only when dry sweeps the others,
+   stealing FIFO.  The pool mutex is left with the slow paths — parking
+   idle workers and the stop flag — so a busy pool never touches it.
 
-   Lock discipline (machine-checked by xksrace): the queue and the stop
-   flag are guarded by [mutex]; [workers] is owner-managed — it is
-   written by [create] before the pool value is shared and read/cleared
-   by the single caller that wins the [stop] flip in [shutdown], after
-   the workers have been woken. *)
+   Worker count is capped at [Domain.recommended_domain_count ()]
+   unless [oversubscribe] is set: domains above the core count cannot
+   add parallelism, but each extra CPU-bound domain makes every minor
+   GC's stop-the-world barrier wait on one more descheduled domain —
+   the measured cause of the cold jobs>1 anti-scaling this design
+   replaces.  [oversubscribe] exists for the contention tests and the
+   serving layer (whose admission control must honour the configured
+   worker count exactly).
+
+   Lock discipline (machine-checked by xksrace): [stop] and [idlers]
+   are guarded by [mutex]; each deque guards itself; [cursor] is
+   atomic.  Lock order is pool [mutex] before any deque mutex —
+   [submit] pushes and workers scan [has_work] while holding the pool
+   mutex, and deque operations never take the pool mutex.  [workers] is
+   owner-managed — written by [create] before the pool value is shared
+   and read/cleared by the single caller that wins the [stop] flip in
+   [shutdown]. *)
 
 type t = {
-  size : int;
+  size : int;  (* actual worker count, after capping *)
   mutex : Mutex.t;
-  wake : Condition.t;  (* new work or shutdown *)
-  work : (unit -> unit) Queue.t;  (* xksrace: guarded_by mutex *)
+  wake : Condition.t;  (* new work while workers are parked, or shutdown *)
+  deques : (unit -> unit) Deque.t array;  (* slot i is worker i's deque *)
+  cursor : int Atomic.t;  (* round-robin submission target *)
+  mutable idlers : int;  (* xksrace: guarded_by mutex *)
   mutable stop : bool;  (* xksrace: guarded_by mutex *)
   (* xksrace: domain_safe owner-managed; see the lock-discipline note above *)
   mutable workers : unit Domain.t list;  (* [] after [shutdown] *)
@@ -23,48 +42,86 @@ type t = {
 
 let default_size () = max 1 (Domain.recommended_domain_count () - 1)
 
-let worker p () =
-  (* xksrace: requires_lock mutex *)
-  let rec next () =
-    match Queue.take_opt p.work with
-    | Some job -> Some job
+(* Any task anywhere?  Scans own deque first so the caller's next pop
+   is the likely hit.  Deque lengths are read under each deque's own
+   mutex; callers that need the answer to be stable (the park/exit
+   decision) additionally hold the pool mutex, which [submit] also
+   holds while pushing. *)
+let has_work p i =
+  let n = Array.length p.deques in
+  let rec go j = j < n && ((not (Deque.is_empty p.deques.((i + j) mod n))) || go (j + 1)) in
+  go 0
+
+let worker p i () =
+  (* Own deque LIFO first, then one stealing sweep over the others. *)
+  let try_take () =
+    match Deque.pop p.deques.(i) with
+    | Some _ as job -> job
     | None ->
-        if p.stop then None
-        else begin
-          Condition.wait p.wake p.mutex;
-          next ()
-        end
+        let n = Array.length p.deques in
+        let rec sweep j =
+          if j = n then None
+          else
+            match Deque.steal p.deques.((i + j) mod n) with
+            | Some _ as job -> job
+            | None -> sweep (j + 1)
+        in
+        sweep 1
   in
   let rec loop () =
-    Mutex.lock p.mutex;
-    let job = next () in
-    Mutex.unlock p.mutex;
-    match job with
-    | None -> ()
+    match try_take () with
     | Some job ->
         job ();
         loop ()
+    | None ->
+        (* Ran dry: decide between parking and exiting under the pool
+           lock, re-checking for work published since the sweep (the
+           shutdown drain guarantee lives here: a worker only exits
+           once no deque holds work *and* the stop flag is up). *)
+        Mutex.lock p.mutex;
+        let continue_ =
+          if has_work p i then true
+          else if p.stop then false
+          else begin
+            p.idlers <- p.idlers + 1;
+            let rec await () =
+              Condition.wait p.wake p.mutex;
+              if has_work p i then true else if p.stop then false else await ()
+            in
+            let r = await () in
+            p.idlers <- p.idlers - 1;
+            r
+          end
+        in
+        Mutex.unlock p.mutex;
+        if continue_ then loop ()
   in
   loop ()
 
-let create ?size () =
-  let size =
+let create ?size ?(oversubscribe = false) () =
+  let requested =
     match size with
     | None -> default_size ()
     | Some s when s >= 1 -> s
     | Some _ -> invalid_arg "Pool.create: size must be >= 1"
+  in
+  let size =
+    if oversubscribe then requested
+    else min requested (max 1 (Domain.recommended_domain_count ()))
   in
   let p =
     {
       size;
       mutex = Mutex.create ();
       wake = Condition.create ();
-      work = Queue.create ();
+      deques = Array.init size (fun _ -> Deque.create ());
+      cursor = Atomic.make 0;
+      idlers = 0;
       stop = false;
       workers = [];
     }
   in
-  p.workers <- List.init size (fun _ -> Domain.spawn (worker p));
+  p.workers <- List.init size (fun i -> Domain.spawn (worker p i));
   p
 
 let size p = p.size
@@ -72,13 +129,22 @@ let size p = p.size
 exception Pool_closed
 
 let submit p job =
+  (* The stop check and the push are atomic under the pool mutex:
+     [shutdown] flips [stop] under the same mutex, so a submission
+     either lands before the flip (and the drain guarantee runs it) or
+     observes it and raises — a job can never slip into a deque no
+     worker will visit again. *)
   Mutex.lock p.mutex;
   if p.stop then begin
     Mutex.unlock p.mutex;
     raise Pool_closed
   end;
-  Queue.add job p.work;
-  Condition.signal p.wake;
+  let target =
+    (* [land max_int] keeps the index non-negative across wrap-around *)
+    Atomic.fetch_and_add p.cursor 1 land max_int mod Array.length p.deques
+  in
+  Deque.push p.deques.(target) job;
+  if p.idlers > 0 then Condition.signal p.wake;
   Mutex.unlock p.mutex
 
 exception Task_error of exn
@@ -90,29 +156,55 @@ let run_all p thunks =
   let remaining = Atomic.make n in
   let done_mutex = Mutex.create () in
   let done_cond = Condition.create () in
-  Array.iteri
-    (fun i f ->
-      submit p (fun () ->
-          let r =
-            match f () with
-            | v -> Ok v
-            | exception e -> Error e
-          in
-          (* Publish the slot before the count: the waiter only reads
-             [results] after [remaining] reaches zero, and the atomic
-             decrement orders the two writes. *)
-          results.(i) <- Some r;
-          if Atomic.fetch_and_add remaining (-1) = 1 then begin
-            Mutex.lock done_mutex;
-            Condition.broadcast done_cond;
-            Mutex.unlock done_mutex
-          end))
-    thunks;
+  let finish k =
+    (* Publish the slots before the count: the waiter only reads
+       [results] after [remaining] reaches zero, and the atomic
+       decrement orders the writes. *)
+    if Atomic.fetch_and_add remaining (-k) = k then begin
+      Mutex.lock done_mutex;
+      Condition.broadcast done_cond;
+      Mutex.unlock done_mutex
+    end
+  in
+  (* Chunked hand-off: a batch of 400 queries becomes ~4 chunks per
+     worker, not 400 submissions — each chunk is one deque push, and a
+     thief that steals one rebalances a whole slice of the batch. *)
+  let nchunks = if n = 0 then 0 else min n (4 * p.size) in
+  let bounds c = (c * n / nchunks, (c + 1) * n / nchunks) in
+  let submit_chunk c =
+    let lo, hi = bounds c in
+    submit p (fun () ->
+        for idx = lo to hi - 1 do
+          results.(idx) <-
+            Some (match thunks.(idx) () with v -> Ok v | exception e -> Error e)
+        done;
+        finish (hi - lo))
+  in
+  let closed =
+    let rec go c =
+      if c = nchunks then false
+      else
+        match submit_chunk c with
+        | () -> go (c + 1)
+        | exception Pool_closed ->
+            (* The pool was shut down mid-submission.  This and every
+               later chunk will never run: take their slots out of
+               [remaining] ourselves so the wait below terminates once
+               the already-submitted chunks drain, then report the
+               failure — the old design left [remaining] short and the
+               waiter blocked on [done_cond] forever. *)
+            let lo, _ = bounds c in
+            finish (n - lo);
+            true
+    in
+    go 0
+  in
   Mutex.lock done_mutex;
   while Atomic.get remaining > 0 do
     Condition.wait done_cond done_mutex
   done;
   Mutex.unlock done_mutex;
+  if closed then raise Pool_closed;
   Array.map
     (function
       | Some (Ok v) -> v
@@ -136,8 +228,8 @@ let shutdown p =
   List.iter Domain.join p.workers;
   p.workers <- []
 
-let with_pool ?size f =
-  let p = create ?size () in
+let with_pool ?size ?oversubscribe f =
+  let p = create ?size ?oversubscribe () in
   Fun.protect
     ~finally:(fun () ->
       (* tolerate [f] having shut the pool down itself *)

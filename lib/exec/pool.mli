@@ -1,10 +1,14 @@
-(** A fixed-size pool of worker {!Domain}s fed by a mutex/condvar work
-    queue.
+(** A fixed-size pool of worker {!Domain}s over per-worker
+    work-stealing deques.
 
-    One pool amortises domain spawn cost over many batches: workers park
-    on a condition variable between jobs, so an idle pool costs nothing
-    but the parked domains.  The pool schedules opaque closures —
-    {!Exec.search_batch} layers the query semantics on top. *)
+    One pool amortises domain spawn cost over many batches: workers
+    park on a condition variable between jobs, so an idle pool costs
+    nothing but the parked domains.  Submission round-robins tasks
+    across per-worker {!Deque}s; a worker pops its own deque (LIFO) and
+    steals from the others (FIFO) only when it runs dry, so a busy pool
+    never serializes on a shared queue lock.  The pool schedules opaque
+    closures — {!Exec.search_batch} layers the query semantics on
+    top. *)
 
 type t
 
@@ -12,12 +16,20 @@ val default_size : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)] — one worker per
     available core, leaving a core for the submitting domain. *)
 
-val create : ?size:int -> unit -> t
+val create : ?size:int -> ?oversubscribe:bool -> unit -> t
 (** Spawn a pool of [size] (default {!default_size}) worker domains.
+    Unless [oversubscribe] is set (default [false]), the worker count
+    is capped at [Domain.recommended_domain_count ()]: extra CPU-bound
+    domains add no parallelism but stretch every minor-GC
+    stop-the-world barrier, which is precisely the measured cause of
+    the cold-path anti-scaling this pool design fixed.  Pass
+    [~oversubscribe:true] when the exact domain count is the point —
+    contention tests, or the serving layer whose admission control is
+    derived from the configured worker count.
     @raise Invalid_argument when [size < 1]. *)
 
 val size : t -> int
-(** Number of worker domains. *)
+(** Number of worker domains actually spawned (after the cap). *)
 
 exception Pool_closed
 (** Raised deterministically by {!submit}, {!run_all} and {!shutdown}
@@ -25,10 +37,10 @@ exception Pool_closed
     it lost the race, instead of the outcome depending on queue state. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Enqueue one fire-and-forget job.  Jobs run in FIFO submission order
-    (across however many workers are free) and must not raise — an
-    escaping exception kills its worker.  Prefer {!run_all}, which
-    captures results and exceptions.
+(** Enqueue one fire-and-forget job on the next worker's deque
+    (round-robin).  Jobs must not raise — an escaping exception kills
+    its worker.  Prefer {!run_all}, which captures results and
+    exceptions.
     @raise Pool_closed on a pool that was {!shutdown}. *)
 
 exception Task_error of exn
@@ -36,19 +48,26 @@ exception Task_error of exn
 
 val run_all : t -> (unit -> 'a) list -> 'a array
 (** Run every thunk on the pool and wait for all of them; result [i] is
-    thunk [i]'s value (input order, regardless of completion order).
-    When a thunk raised, the whole batch still runs to completion and
-    the first failure (in input order) is re-raised as {!Task_error}.
-    Must not be called from a pool worker of the same pool — the nested
-    batch could wait on jobs queued behind its own caller. *)
+    thunk [i]'s value (input order, regardless of completion order or
+    which worker — owner or thief — ran it).  Thunks are handed over in
+    chunks (a few per worker), so a large batch costs a handful of
+    submissions rather than one per task; work-stealing rebalances
+    uneven chunks.  When a thunk raised, the whole batch still runs to
+    completion and the first failure (in input order) is re-raised as
+    {!Task_error}.  When the pool is shut down concurrently with
+    submission, the already-submitted chunks are drained, then
+    {!Pool_closed} is raised — never a hang.  Must not be called from a
+    pool worker of the same pool — the nested batch could wait on jobs
+    queued behind its own caller. *)
 
 val shutdown : t -> unit
-(** Drain already-queued jobs, then join every worker.  Exactly one
-    caller (under concurrency, the first to take the pool lock) performs
-    the join and returns; every other and every later call raises
-    {!Pool_closed}, as do subsequent {!submit}/{!run_all} calls.
+(** Drain already-queued jobs (every deque runs dry before any worker
+    exits), then join every worker.  Exactly one caller (under
+    concurrency, the first to take the pool lock) performs the join and
+    returns; every other and every later call raises {!Pool_closed}, as
+    do subsequent {!submit}/{!run_all} calls.
     @raise Pool_closed when the pool was already shut down. *)
 
-val with_pool : ?size:int -> (t -> 'a) -> 'a
+val with_pool : ?size:int -> ?oversubscribe:bool -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down on exit
     (also on exception). *)

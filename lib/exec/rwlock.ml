@@ -1,0 +1,71 @@
+(* A readers-writer lock over a mutex and one condition variable.
+
+   Any number of readers may hold the lock together; a writer holds it
+   alone.  OCaml's stdlib has no rwlock, and the cache's find path is
+   exactly the read-mostly workload the primitive exists for: lookups
+   from every pool worker overlap freely, and only insert/evict/clear
+   serialize.
+
+   No writer preference: a writer waits for the readers present when it
+   arrived *and* any that slip in while it sleeps.  For the cache this
+   is the right trade — reads outnumber writes by orders of magnitude,
+   every section is a few memory operations, and the workloads are
+   finite batches, so starvation windows are bounded in practice.
+   [Condition.broadcast] (never [signal]) on every release: the waiters
+   are a mix of readers (any number may proceed) and writers (one may),
+   and a lost wake-up here would be a deadlock.
+
+   Lock discipline (machine-checked by xksrace): [readers] and [writer]
+   are guarded by [mutex], and every access below sits between
+   [Mutex.lock]/[Mutex.unlock] on it. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (* any state change a waiter could be blocked on *)
+  mutable readers : int;  (* xksrace: guarded_by mutex *)
+  mutable writer : bool;  (* xksrace: guarded_by mutex *)
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    readers = 0;
+    writer = false;
+  }
+
+let read_lock t =
+  Mutex.lock t.mutex;
+  while t.writer do
+    Condition.wait t.cond t.mutex
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mutex
+
+let read_unlock t =
+  Mutex.lock t.mutex;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let write_lock t =
+  Mutex.lock t.mutex;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  t.writer <- true;
+  Mutex.unlock t.mutex
+
+let write_unlock t =
+  Mutex.lock t.mutex;
+  t.writer <- false;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f

@@ -1,0 +1,31 @@
+(** A readers-writer lock: many concurrent readers, one exclusive
+    writer.
+
+    Built on a mutex and a condition variable (OCaml's stdlib has no
+    rwlock).  No writer preference — see the implementation note on why
+    that is the right trade for the cache's read-mostly workload.  A
+    read section must not upgrade to a write section (that deadlocks,
+    as with any non-reentrant lock); release and re-take instead. *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+(** Enter a shared read section; blocks only while a writer holds the
+    lock. *)
+
+val read_unlock : t -> unit
+
+val write_lock : t -> unit
+(** Enter the exclusive write section; blocks until every reader and
+    writer has left. *)
+
+val write_unlock : t -> unit
+
+val read : t -> (unit -> 'a) -> 'a
+(** [read t f] runs [f] inside a read section (released on exception). *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** [write t f] runs [f] inside the write section (released on
+    exception). *)

@@ -17,9 +17,24 @@ type t = {
   entries : (string, entry) Hashtbl.t;
   (* xksrace: domain_safe populated by build/of_rows, read-only afterwards *)
   frozen : (string, int array) Hashtbl.t;
+  approx_cids : Cid.t array;  (* per node id; filled at build, never written *)
 }
 
 let empty_posting = [||]
+
+(* Per-node approximate content features, one document pass at build
+   time.  [Node_info.construct] used to recompute this per keyword node
+   on {e every} query — re-tokenising the node's label, text and
+   attributes ([Tree.content_words]) just to take a (min, max) pair.
+   That re-tokenisation was the single largest allocation source on the
+   cold query path, and under several domains the resulting minor-GC
+   stop-the-world barriers were the multicore scaling bottleneck.  The
+   word stream here is exactly [Tree.content_words]'s (label name, text,
+   attribute keys and values, stop words dropped), so the features are
+   identical to the ones previously computed per query. *)
+let compute_approx_cids doc =
+  Array.init (Tree.size doc) (fun id ->
+      Cid.of_words Cid.Approx (Tree.content_words doc (Tree.node doc id)))
 
 let freeze entries =
   let f = Hashtbl.create (Hashtbl.length entries) in
@@ -57,9 +72,10 @@ let build doc =
       n.attrs
   in
   Tree.iter index_node doc;
-  { doc; entries; frozen = freeze entries }
+  { doc; entries; frozen = freeze entries; approx_cids = compute_approx_cids doc }
 
 let doc t = t.doc
+let approx_cids t = t.approx_cids
 
 let posting t w =
   match Hashtbl.find_opt t.frozen (Tokenizer.normalize w) with
@@ -113,7 +129,7 @@ let of_rows doc rows =
       Hashtbl.replace entries w { ids; occurrences };
       Hashtbl.replace frozen w posting)
     rows;
-  { doc; entries; frozen }
+  { doc; entries; frozen; approx_cids = compute_approx_cids doc }
 
 let top_words t n =
   let all =

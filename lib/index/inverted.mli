@@ -24,6 +24,15 @@ val build : Xks_xml.Tree.t -> t
 
 val doc : t -> Xks_xml.Tree.t
 
+val approx_cids : t -> Cid.t array
+(** Per-node approximate content features ([Cid.of_words Approx] over
+    {!Xks_xml.Tree.content_words}), indexed by preorder node id and
+    computed once at {!build}/{!of_rows} time.  The pruning stage reads
+    keyword-node features from this table instead of re-tokenising the
+    document on every query — the dominant allocation source on the cold
+    path before precomputation.  Owned by the index: callers must not
+    mutate it. *)
+
 val posting : t -> string -> int array
 (** [posting idx w] is the sorted id array for word [w] ([w] is normalised
     with {!Xks_xml.Tokenizer.normalize} before lookup).  The returned

@@ -24,8 +24,24 @@ let indexed_lookup_eager doc postings =
       | Some n -> n.id
       | None -> assert false
     in
-    let cands =
-      Array.to_list (Array.map candidate s1) |> List.sort_uniq Int.compare
-    in
-    filter_minimal doc cands
+    (* Collect candidates in a per-domain scratch buffer and sort in
+       place: the intermediate array + list of the old
+       [Array.map |> to_list |> sort_uniq] chain was per-query minor-GC
+       churn, which under multiple domains means stop-the-world
+       barriers.  Minimality filtering reads straight from the sorted
+       buffer (same test as [filter_minimal]: a candidate survives iff
+       its successor is outside its subtree). *)
+    Xks_util.Scratch.with_ints (fun buf ->
+        Array.iter (fun v -> Xks_util.Int_vec.push buf (candidate v)) s1;
+        Xks_util.Int_vec.sort_uniq buf;
+        let n = Xks_util.Int_vec.length buf in
+        let acc = ref [] in
+        for i = n - 1 downto 0 do
+          let x = Xks_util.Int_vec.get buf i in
+          if
+            i = n - 1
+            || Xks_util.Int_vec.get buf (i + 1) > (Tree.node doc x).subtree_end
+          then acc := x :: !acc
+        done;
+        !acc)
   end

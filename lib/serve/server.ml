@@ -163,7 +163,7 @@ let create cfg engine =
   {
     cfg;
     engine;
-    pool = Pool.create ~size:cfg.workers ();
+    pool = Pool.create ~size:cfg.workers ~oversubscribe:true ();
     cache;
     admission;
     listen_fd;

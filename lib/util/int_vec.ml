@@ -29,3 +29,44 @@ let pop v =
   if v.len = 0 then invalid_arg "Int_vec.pop: empty";
   v.len <- v.len - 1;
   v.data.(v.len)
+
+(* In-place heapsort + compaction: sorting a scratch buffer must not
+   allocate (the whole point of the buffer is to keep the query path off
+   the minor heap), which rules out [Array.sort] on a [to_array] copy. *)
+let sort_uniq v =
+  let a = v.data and n = v.len in
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec sift_down root limit =
+    let child = (2 * root) + 1 in
+    if child < limit then begin
+      let child =
+        if child + 1 < limit && a.(child + 1) > a.(child) then child + 1
+        else child
+      in
+      if a.(child) > a.(root) then begin
+        swap root child;
+        sift_down child limit
+      end
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i n
+  done;
+  for i = n - 1 downto 1 do
+    swap 0 i;
+    sift_down 0 i
+  done;
+  if n > 0 then begin
+    let w = ref 1 in
+    for r = 1 to n - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    v.len <- !w
+  end

@@ -28,3 +28,8 @@ val last : t -> int
 val pop : t -> int
 (** Remove and return the last element.
     @raise Invalid_argument when empty. *)
+
+val sort_uniq : t -> unit
+(** Sort ascending and drop duplicates, in place (the length shrinks by
+    the number of duplicates).  Allocation-free: heapsort over the
+    backing array — meant for {!Scratch} buffers on hot query paths. *)

@@ -1,0 +1,29 @@
+(* Per-domain scratch buffers for hot query paths.
+
+   The RTF pipeline used to build short-lived intermediate id
+   collections (candidate lists, merged posting sets) as linked lists
+   per query.  Sequentially that is only minor-GC churn; under several
+   domains every minor collection is a stop-the-world barrier across
+   ALL domains, so per-query allocation is precisely what made cold
+   multi-domain batches anti-scale.  These buffers amortise that: each
+   domain keeps its own free list of [Int_vec]s (domain-local storage,
+   so no locking and no sharing), and a checked-out buffer retains its
+   capacity across queries.
+
+   The free list is a LIFO so nested [with_ints] calls work: the inner
+   call simply checks out a second buffer. *)
+
+let pool : Int_vec.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let with_ints f =
+  let free = Domain.DLS.get pool in
+  let v =
+    match !free with
+    | v :: rest ->
+        free := rest;
+        v
+    | [] -> Int_vec.create ~capacity:256 ()
+  in
+  Int_vec.clear v;
+  Fun.protect ~finally:(fun () -> free := v :: !free) (fun () -> f v)

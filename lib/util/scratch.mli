@@ -1,0 +1,16 @@
+(** Per-domain reusable scratch buffers.
+
+    [with_ints f] runs [f] with an {!Int_vec} checked out of the calling
+    domain's free list (cleared, capacity retained from earlier uses)
+    and returns it on exit, including on exceptions.  Nesting is fine —
+    an inner call checks out a further buffer.  The buffer must not
+    escape [f] ({!Int_vec.to_array} a copy if the result must outlive
+    the call) and must not be handed to another domain.
+
+    Purpose: keep per-query intermediate id collections off the minor
+    heap.  Under multiple domains every minor collection is a
+    stop-the-world barrier across all domains, so allocation that is
+    harmless sequentially is exactly what makes parallel batches
+    anti-scale. *)
+
+val with_ints : (Int_vec.t -> 'a) -> 'a

@@ -5,9 +5,40 @@ module Engine = Xks_core.Engine
 module Exec = Xks_exec.Exec
 module Pool = Xks_exec.Pool
 module Cache = Xks_exec.Cache
+module Deque = Xks_exec.Deque
+module Race = Xks_check.Race
 module Trace = Xks_trace.Trace
 module Fixtures = Xks_datagen.Paper_fixtures
 module Inverted = Xks_index.Inverted
+
+(* --- Deque --- *)
+
+let test_deque_empty () =
+  let d : int Deque.t = Deque.create () in
+  Alcotest.(check bool) "fresh deque is empty" true (Deque.is_empty d);
+  Alcotest.(check int) "fresh deque length" 0 (Deque.length d);
+  Alcotest.(check (option int)) "pop on empty" None (Deque.pop d);
+  Alcotest.(check (option int)) "steal on empty" None (Deque.steal d);
+  (* Emptying and refilling must not confuse the ring indices. *)
+  Deque.push d 1;
+  Alcotest.(check (option int)) "single element pops" (Some 1) (Deque.pop d);
+  Alcotest.(check (option int)) "steal after drain" None (Deque.steal d)
+
+let test_deque_owner_lifo_thief_fifo () =
+  let d : int Deque.t = Deque.create ~capacity:2 () in
+  List.iter (Deque.push d) [ 1; 2; 3; 4; 5 ] (* forces a ring grow *);
+  Alcotest.(check int) "five queued" 5 (Deque.length d);
+  (* The owner works the bottom: freshest first. *)
+  Alcotest.(check (option int)) "owner pops newest" (Some 5) (Deque.pop d);
+  (* Thieves work the top: oldest first, in submission order. *)
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int)) "thief steals next oldest" (Some 2)
+    (Deque.steal d);
+  Alcotest.(check (option int)) "owner still sees its newest" (Some 4)
+    (Deque.pop d);
+  Alcotest.(check (option int)) "last element from either end" (Some 3)
+    (Deque.steal d);
+  Alcotest.(check bool) "drained" true (Deque.is_empty d)
 
 (* --- Pool --- *)
 
@@ -74,6 +105,95 @@ let test_pool_rejects_zero_size () =
   Alcotest.check_raises "size 0"
     (Invalid_argument "Pool.create: size must be >= 1") (fun () ->
       ignore (Pool.create ~size:0 ()))
+
+let test_pool_caps_at_domain_count () =
+  let host = max 1 (Domain.recommended_domain_count ()) in
+  let p = Pool.create ~size:(host + 7) () in
+  Alcotest.(check int) "capped at the host's domains" host (Pool.size p);
+  Pool.shutdown p;
+  let p = Pool.create ~size:(host + 7) ~oversubscribe:true () in
+  Alcotest.(check int) "oversubscribe keeps the requested size" (host + 7)
+    (Pool.size p);
+  Pool.shutdown p
+
+(* Order is an input-slot contract, not a completion-order accident:
+   uneven task durations on an oversubscribed pool force thieves to
+   run slices of other workers' chunks, and result [i] must still be
+   thunk [i]'s value. *)
+let test_pool_run_all_order_under_stealing () =
+  Pool.with_pool ~size:4 ~oversubscribe:true (fun p ->
+      let n = 64 in
+      let results =
+        Pool.run_all p
+          (List.init n (fun i () ->
+               (* Every 7th task is heavy, so its owner's deque backs up
+                  and the idle workers steal the rest of the chunk. *)
+               if i mod 7 = 0 then begin
+                 let acc = ref 0 in
+                 for k = 1 to 200_000 do
+                   acc := (!acc + k) land 0xFFFF
+                 done;
+                 ignore !acc
+               end;
+               i * 3))
+      in
+      Alcotest.(check (array int)) "input order despite stealing"
+        (Array.init n (fun i -> i * 3))
+        results)
+
+(* Regression: [run_all] racing a concurrent [shutdown] must end in
+   [Pool_closed], never a hang.  The original queue woke sleeping
+   workers but not a [run_all] caller already waiting on results that
+   no worker would ever take. *)
+let test_pool_run_all_vs_concurrent_shutdown () =
+  for _ = 1 to 10 do
+    let p = Pool.create ~size:1 ~oversubscribe:true () in
+    let started = Semaphore.Binary.make false in
+    let release = Semaphore.Binary.make false in
+    (* Pin the only worker so the shutdown below stays in flight while
+       the prober races it. *)
+    Pool.submit p (fun () ->
+        Semaphore.Binary.release started;
+        Semaphore.Binary.acquire release);
+    Semaphore.Binary.acquire started;
+    let prober =
+      Domain.spawn (fun () ->
+          let rec probe n =
+            match Pool.run_all p [ (fun () -> n) ] with
+            | _ -> probe (n + 1)
+            | exception Pool.Pool_closed -> ()
+          in
+          probe 0)
+    in
+    let closer = Domain.spawn (fun () -> Pool.shutdown p) in
+    Semaphore.Binary.release release;
+    (* Both must return: the closer joins the unpinned worker, and the
+       prober observes Pool_closed in bounded time. *)
+    Domain.join closer;
+    Domain.join prober
+  done
+
+(* Shutdown drains: every job already queued runs before the workers
+   exit, even the ones sitting in deques behind a slow first job. *)
+let test_pool_shutdown_drains_deques () =
+  let ran = Atomic.make 0 in
+  let n = 40 in
+  let p = Pool.create ~size:2 ~oversubscribe:true () in
+  for i = 1 to n do
+    Pool.submit p (fun () ->
+        (* The first job dawdles so most of the batch is still queued
+           when shutdown is called. *)
+        if i = 1 then begin
+          let acc = ref 0 in
+          for k = 1 to 2_000_000 do
+            acc := (!acc + k) land 0xFFFF
+          done;
+          ignore !acc
+        end;
+        Atomic.incr ran)
+  done;
+  Pool.shutdown p;
+  Alcotest.(check int) "every queued job ran before exit" n (Atomic.get ran)
 
 (* --- Cache --- *)
 
@@ -236,7 +356,7 @@ let test_cache_contention_stress () =
   let lookups = Atomic.make 0 in
   let negative_bytes = Atomic.make false in
   let rounds = 60 in
-  Pool.with_pool ~size:4 (fun p ->
+  Pool.with_pool ~size:4 ~oversubscribe:true (fun p ->
       ignore
         (Pool.run_all p
            (List.init 4 (fun d () ->
@@ -268,6 +388,45 @@ let test_cache_contention_stress () =
   Alcotest.(check int) "byte accounting balances" (128 * s.Cache.entries)
     s.Cache.bytes
 
+(* Dynamic lock-discipline replay of the read-mostly path: 4 domains
+   drive a 2-shard instrumented cache through a hit-heavy mix (plus
+   inserts and clears for write sections), then the journal must replay
+   clean — overlapping read sections are fine, but no write section may
+   overlap anything and every access must sit in a section its own
+   domain opened. *)
+let test_cache_read_mostly_journal () =
+  let engine = mk_engine () in
+  let journal = Race.create () in
+  let cache =
+    Cache.create ~shards:2 ~max_bytes:(1024 * 1024)
+      ~instrument:(Race.instrument journal) ()
+  in
+  let keys =
+    List.init 8 (fun i -> mk_key engine [ Printf.sprintf "jk%d" i ])
+  in
+  List.iter (fun k -> Cache.add cache k empty_result) keys;
+  Pool.with_pool ~size:4 ~oversubscribe:true (fun p ->
+      ignore
+        (Pool.run_all p
+           (List.init 4 (fun d () ->
+                for r = 1 to 50 do
+                  List.iteri
+                    (fun i k ->
+                      (match Cache.find cache k with
+                      | Some _ -> ()
+                      | None -> Cache.add cache k empty_result);
+                      if (r + i + d) mod 37 = 0 then Cache.clear cache)
+                    keys
+                done))
+         : unit array));
+  let ops = List.map (fun e -> e.Race.op) (Race.events journal) in
+  Alcotest.(check bool) "read sections were exercised" true
+    (List.mem Race.Rlock ops);
+  Alcotest.(check bool) "write sections were exercised" true
+    (List.mem Race.Lock ops);
+  Alcotest.(check (list string)) "journal replays clean" []
+    (List.map Xks_check.Invariant.to_string (Race.check journal))
+
 (* --- batch semantics --- *)
 
 let test_budget_class () =
@@ -292,7 +451,9 @@ let hit_list : Engine.hit list Alcotest.testable =
 let check_batch_matches_sequential engine queries =
   let sequential = List.map (Engine.search engine) queries in
   let cache = Cache.create ~max_bytes:(8 * 1024 * 1024) () in
-  Pool.with_pool ~size:4 (fun pool ->
+  (* ~oversubscribe: determinism under 4 real domains is the point,
+     whatever the host's core count. *)
+  Pool.with_pool ~size:4 ~oversubscribe:true (fun pool ->
       let cold = Exec.search_batch ~pool ~cache engine queries in
       let warm = Exec.search_batch ~pool ~cache engine queries in
       List.iteri
@@ -341,7 +502,7 @@ let test_batch_budget_semantics () =
           engine ws)
       paper_queries
   in
-  Pool.with_pool ~size:4 (fun pool ->
+  Pool.with_pool ~size:4 ~oversubscribe:true (fun pool ->
       let batched =
         Exec.search_batch_results ~pool ~budget:spec engine paper_queries
       in
@@ -371,6 +532,9 @@ let test_batch_empty_query_rejected () =
 
 let tests =
   [
+    Alcotest.test_case "deque empty behaviour" `Quick test_deque_empty;
+    Alcotest.test_case "deque owner LIFO, thief FIFO" `Quick
+      test_deque_owner_lifo_thief_fifo;
     Alcotest.test_case "pool preserves input order" `Quick
       test_pool_preserves_order;
     Alcotest.test_case "pool propagates task exceptions" `Quick
@@ -381,6 +545,14 @@ let tests =
       test_pool_concurrent_shutdown;
     Alcotest.test_case "pool rejects zero size" `Quick
       test_pool_rejects_zero_size;
+    Alcotest.test_case "pool caps at the host's domain count" `Quick
+      test_pool_caps_at_domain_count;
+    Alcotest.test_case "run_all order preserved under stealing" `Quick
+      test_pool_run_all_order_under_stealing;
+    Alcotest.test_case "run_all vs concurrent shutdown never hangs" `Quick
+      test_pool_run_all_vs_concurrent_shutdown;
+    Alcotest.test_case "shutdown drains queued deques" `Quick
+      test_pool_shutdown_drains_deques;
     Alcotest.test_case "cache key normalisation" `Quick test_key_normalisation;
     Alcotest.test_case "cache stale invalidation across engines" `Quick
       test_key_stale_invalidation;
@@ -396,6 +568,8 @@ let tests =
       test_cache_eviction_order_deep;
     Alcotest.test_case "cache contention stress (4 domains, one shard)" `Quick
       test_cache_contention_stress;
+    Alcotest.test_case "cache read-mostly journal replays clean" `Quick
+      test_cache_read_mostly_journal;
     Alcotest.test_case "budget class strings" `Quick test_budget_class;
     Alcotest.test_case "jobs=4 determinism on paper fixtures" `Quick
       test_batch_determinism_fixtures;

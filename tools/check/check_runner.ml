@@ -50,7 +50,7 @@ let check_determinism name idx queries =
   let sequential = List.map (Engine.search engine) queries in
   let cache = Exec.Cache.create ~max_bytes:(8 * 1024 * 1024) () in
   let cold, warm =
-    Pool.with_pool ~size:determinism_jobs (fun pool ->
+    Pool.with_pool ~size:determinism_jobs ~oversubscribe:true (fun pool ->
         ( Exec.search_batch ~pool ~cache engine queries,
           Exec.search_batch ~pool ~cache engine queries ))
   in
@@ -91,7 +91,7 @@ let run_race () =
   (* Few shards + a repeated workload force shard collisions between
      workers, so lock handoffs actually happen under contention. *)
   let queries = List.concat (List.init 6 (fun _ -> paper_queries)) in
-  Pool.with_pool ~size:determinism_jobs (fun pool ->
+  Pool.with_pool ~size:determinism_jobs ~oversubscribe:true (fun pool ->
       let _cold = Exec.search_batch ~pool ~cache engine queries in
       let _warm = Exec.search_batch ~pool ~cache engine queries in
       ());

@@ -1,0 +1,55 @@
+(* A miniature mutex-guarded work-stealing deque in the shape of
+   lib/exec/deque.ml: every access to the guarded ring state runs
+   inside the [locks]-annotated section helper — including the owner's
+   pop through a [requires_lock] helper and the thief path reached from
+   a spawned domain.  Must produce no findings. *)
+
+type t = {
+  m : Mutex.t;
+  mutable items : int list;  (* xksrace: guarded_by m *)
+  mutable len : int;  (* xksrace: guarded_by m *)
+}
+
+let create () = { m = Mutex.create (); items = []; len = 0 }
+
+(* xksrace: locks m *)
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Owner-side bottom removal, split out the way the real deque splits
+   its ring surgery: the helper assumes the lock. *)
+(* xksrace: requires_lock m *)
+let take_bottom t =
+  match t.items with
+  | [] -> None
+  | x :: rest ->
+      t.items <- rest;
+      t.len <- t.len - 1;
+      Some x
+
+let push t x =
+  locked t (fun () ->
+      t.items <- x :: t.items;
+      t.len <- t.len + 1)
+
+let pop t = locked t (fun () -> take_bottom t)
+
+let steal t =
+  locked t (fun () ->
+      match List.rev t.items with
+      | [] -> None
+      | oldest :: newer ->
+          t.items <- List.rev newer;
+          t.len <- t.len - 1;
+          Some oldest)
+
+let run () =
+  let d = create () in
+  push d 1;
+  push d 2;
+  push d 3;
+  let thief = Domain.spawn (fun () -> steal d) in
+  let mine = pop d in
+  let stolen = Domain.join thief in
+  (mine, stolen)
