@@ -139,25 +139,37 @@ let cost_of (r : Engine.search_result) =
    state — plus atomic stamp bumps, which need no latch of their own.
    [write_locked] is exclusive, as the old per-shard mutex was. *)
 
+(* The instrument hook is arbitrary user code: it may raise (the fault
+   suite's hooks do, deliberately).  Every [observe] inside a lock
+   section therefore runs under the same protection as the section
+   body — including the unlock-side observe, which must not be able to
+   skip the unlock itself.  The release event is journalled before the
+   actual unlock so replay never sees a write overlapping a section
+   that was still read-held. *)
+
 (* xksrace: locks lock *)
 let read_locked t s f =
   Rwlock.read_lock s.lock;
-  observe t s Rlock;
   Fun.protect
     ~finally:(fun () ->
-      observe t s Runlock;
-      Rwlock.read_unlock s.lock)
-    f
+      Fun.protect
+        ~finally:(fun () -> Rwlock.read_unlock s.lock)
+        (fun () -> observe t s Runlock))
+    (fun () ->
+      observe t s Rlock;
+      f ())
 
 (* xksrace: locks lock *)
 let write_locked t s f =
   Rwlock.write_lock s.lock;
-  observe t s Lock;
   Fun.protect
     ~finally:(fun () ->
-      observe t s Unlock;
-      Rwlock.write_unlock s.lock)
-    f
+      Fun.protect
+        ~finally:(fun () -> Rwlock.write_unlock s.lock)
+        (fun () -> observe t s Unlock))
+    (fun () ->
+      observe t s Lock;
+      f ())
 
 let find t k =
   let s = shard_of t k in

@@ -141,6 +141,19 @@ let remove_stale_socket path =
       failwith (Printf.sprintf "serve: %s exists and is not a socket" path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
+(* Open, bind and listen on the control socket.  Ownership of the fd
+   transfers to the caller by return; until then the bind/listen
+   failure path releases it before re-raising. *)
+let acquire_listener cfg =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen fd (cfg.workers + cfg.queue + 16)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  fd
+
 let create cfg engine =
   if cfg.max_hits < 1 then invalid_arg "Server.create: max_hits must be >= 1";
   let admission = Admission.create ~workers:cfg.workers ~queue:cfg.queue in
@@ -148,22 +161,27 @@ let create cfg engine =
      the process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   remove_stale_socket cfg.socket_path;
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen listen_fd (cfg.workers + cfg.queue + 16)
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error (_, _, _) -> ());
-     raise e);
+  (* Anything that can refuse its configuration (the cache validates
+     max_bytes) runs before any resource is acquired; the pool — whose
+     domains are themselves a resource — comes next, and the listener
+     last, shutting the pool down if the socket can't be had.  This
+     ordering keeps every raise path free of stranded domains and fds. *)
   let cache =
     if cfg.cache_mb > 0 then
       Some (Cache.create ~max_bytes:(cfg.cache_mb * 1024 * 1024) ())
     else None
   in
+  let pool = Pool.create ~size:cfg.workers ~oversubscribe:true () in
+  let listen_fd =
+    try acquire_listener cfg
+    with e ->
+      Pool.shutdown pool;
+      raise e
+  in
   {
     cfg;
     engine;
-    pool = Pool.create ~size:cfg.workers ~oversubscribe:true ();
+    pool;
     cache;
     admission;
     listen_fd;
@@ -447,6 +465,7 @@ let conn_loop t conn_id fd =
   in
   loop ()
 
+(* xksleak: owns fd *)
 let serve_conn t conn_id fd =
   let cleanup () =
     Mutex.protect t.mutex (fun () -> Hashtbl.remove t.conns conn_id);
@@ -466,41 +485,46 @@ let serve_conn t conn_id fd =
 
 (* --- accept loop (runs on the caller's domain) --- *)
 
+(* xksleak: owns fd *)
 let reject_503 t fd ~outstanding ~capacity =
-  Trace.incr Trace.Requests_rejected;
-  let detail =
-    match
-      Limits.error_to_string (Admission.to_error ~outstanding t.admission)
-    with
-    | Some s -> s
-    | None -> "overloaded"
-  in
-  let body =
-    Json.to_string
-      (Json.Obj
-         [
-           ("error", Json.String "overloaded");
-           ("detail", Json.String detail);
-           ("outstanding", Json.Int outstanding);
-           ("capacity", Json.Int capacity);
-           ("retry_after_s", Json.Int t.cfg.retry_after_s);
-         ])
-  in
-  let resp =
-    Http.response ~status:503
-      ~headers:
-        [
-          ("retry-after", string_of_int t.cfg.retry_after_s);
-          ("connection", "close");
-        ]
-      body
-  in
-  (* best-effort, short cap: the accept loop must never block on a slow
-     rejected client *)
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.2;
-  (match try_write fd resp with W_ok | W_timeout | W_closed -> ());
-  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Trace.incr Trace.Requests_rejected;
+      let detail =
+        match
+          Limits.error_to_string (Admission.to_error ~outstanding t.admission)
+        with
+        | Some s -> s
+        | None -> "overloaded"
+      in
+      let body =
+        Json.to_string
+          (Json.Obj
+             [
+               ("error", Json.String "overloaded");
+               ("detail", Json.String detail);
+               ("outstanding", Json.Int outstanding);
+               ("capacity", Json.Int capacity);
+               ("retry_after_s", Json.Int t.cfg.retry_after_s);
+             ])
+      in
+      let resp =
+        Http.response ~status:503
+          ~headers:
+            [
+              ("retry-after", string_of_int t.cfg.retry_after_s);
+              ("connection", "close");
+            ]
+          body
+      in
+      (* best-effort, short cap: the accept loop must never block on a
+         slow rejected client *)
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 0.2;
+      match try_write fd resp with W_ok | W_timeout | W_closed -> ())
 
+(* xksleak: owns fd *)
 let handle_accept t fd =
   match Admission.try_admit t.admission with
   | Admission.Rejected { outstanding; capacity } ->
@@ -510,6 +534,10 @@ let handle_accept t fd =
       Trace.incr Trace.Requests_accepted;
       let conn_id = Atomic.fetch_and_add t.next_conn_id 1 in
       Mutex.protect t.mutex (fun () -> Hashtbl.replace t.conns conn_id fd);
+      (* the task closure takes the fd with it; the single close site
+         is serve_conn's cleanup finalizer, and the Pool_closed race
+         below is the new owner declining the handoff *)
+      (* xksleak: transfers fd *)
       match Pool.submit t.pool (fun () -> serve_conn t conn_id fd) with
       | () -> ()
       | exception Pool.Pool_closed ->

@@ -1,0 +1,148 @@
+(* fd-census under injected read faults (see EXPERIMENTS.md for the
+   methodology).  Every connection fd the serving layer accepts must be
+   closed again even when the socket-read path raises mid-request — the
+   failpoint at [Server.read_site] armed with [Raise] is exactly the
+   path xksleak verifies statically — and a shutdown drain must return
+   the process to its pre-server fd baseline: no stranded connection
+   fds, no leaked listener, no socket file.
+
+   Census method: count the entries of /proc/self/fd (the census fd
+   itself is open during every count, so counts are comparable), run
+   request bursts with the read failpoint armed for half of each burst,
+   let the fd table settle after each round, and compare:
+
+     - settled count after each round stays within a small constant of
+       the baseline (listener + transient cleanup slack) — a per-round
+       creep is a connection-fd leak on the fault path;
+     - after [request_shutdown] (the body of the SIGTERM handler) and
+       join, the count is exactly the baseline again. *)
+
+module L = Xks_bench.Loadgen
+module Server = Xks_serve.Server
+module Engine = Xks_core.Engine
+module Failpoint = Xks_robust.Failpoint
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      incr failures;
+      Printf.eprintf "fd_census: FAIL %s\n%!" s)
+    fmt
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let sleep s = ignore (Unix.select [] [] [] s)
+
+let engine =
+  lazy
+    (Engine.of_doc
+       (Xks_datagen.Dblp_gen.generate
+          ~config:{ Xks_datagen.Dblp_gen.default_config with entries = 60 }
+          ()))
+
+let one_shot socket target =
+  let fd = L.connect socket in
+  Fun.protect
+    ~finally:(fun () -> L.close_quietly fd)
+    (fun () ->
+      (try L.send_request ~close:true fd target with L.Client_error _ -> ());
+      try L.read_reply fd with L.Client_error _ -> None)
+
+let wait_ready socket =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    if Unix.gettimeofday () >= deadline then fail "server never became ready"
+    else
+      match one_shot socket "/health" with
+      | Some r when r.L.status = 200 -> ()
+      | Some _ | None ->
+          sleep 0.05;
+          go ()
+      | exception L.Client_error _ ->
+          sleep 0.05;
+          go ()
+  in
+  go ()
+
+(* Poll until the fd table settles back to [target] (workers may still
+   be inside their cleanup finalizers just after the client saw the
+   connection close). *)
+let settle_to target =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    let n = count_fds () in
+    if n <= target || Unix.gettimeofday () >= deadline then n
+    else begin
+      sleep 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let burst socket n =
+  for _ = 1 to n do
+    match one_shot socket "/search?q=xml&limit=3" with
+    | Some _ | None -> ()
+    | exception L.Client_error _ -> ()
+  done
+
+let () =
+  if not (Sys.file_exists "/proc/self/fd") then begin
+    print_endline "fd_census: skipped (no /proc/self/fd)";
+    exit 0
+  end;
+  let e = Lazy.force engine in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xks_fd_census_%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let baseline = count_fds () in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:socket ()) with
+      Server.workers = 2;
+      queue = 2;
+      cache_mb = 0;
+      read_timeout_ms = 200;
+      drain_timeout_ms = 2000;
+    }
+  in
+  let srv = Server.create cfg e in
+  let d = Domain.spawn (fun () -> Server.run srv) in
+  wait_ready socket;
+  (* the server holds exactly the listener beyond the baseline once
+     idle; allow a little slack for cleanup still in flight *)
+  let idle_target = baseline + 1 in
+  let slack = 3 in
+  for round = 1 to 3 do
+    (* clean half: the fault path must not be needed for the census to
+       hold on ordinary traffic *)
+    burst socket 20;
+    (* faulted half: first read of each armed window passes, the rest
+       raise mid-request inside the worker's read loop *)
+    Failpoint.with_failpoint ~skip:1 Server.read_site
+      (Failpoint.Raise (Sys_error "fd_census: injected read fault"))
+      (fun () -> burst socket 20);
+    let settled = settle_to idle_target in
+    if settled > idle_target + slack then
+      fail "round %d: %d fds after settling, baseline %d (leak of %d)" round
+        settled baseline
+        (settled - idle_target)
+  done;
+  (* drain: what the SIGTERM handler does, minus the signal itself *)
+  Server.request_shutdown srv;
+  Domain.join d;
+  Failpoint.clear_all ();
+  let after = settle_to baseline in
+  if after <> baseline then
+    fail "post-drain census: %d fds, baseline %d" after baseline;
+  if Sys.file_exists socket then fail "socket file left behind";
+  if !failures > 0 then begin
+    Printf.eprintf "fd_census: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf "fd_census: fd table stable under injected read faults\n%!"

@@ -429,6 +429,42 @@ let test_cache_read_mostly_journal () =
 
 (* --- batch semantics --- *)
 
+(* The instrument hook is arbitrary user code running inside a lock
+   section; if it raises, the shard's rwlock must still be released
+   (the locking wrappers protect the hook the same as the section
+   body).  A leaked read lock would block the writer below forever, so
+   it runs on its own domain against a deadline: a regression fails
+   the check instead of hanging the suite. *)
+let test_cache_instrument_raise_releases_lock () =
+  let engine = mk_engine () in
+  let boom = ref true in
+  let instrument _idx = function
+    | Cache.Read when !boom -> failwith "instrument boom"
+    | Cache.Read | Cache.Write | Cache.Lock | Cache.Unlock | Cache.Rlock
+    | Cache.Runlock ->
+        ()
+  in
+  let cache = Cache.create ~shards:1 ~instrument ~max_bytes:(1024 * 1024) () in
+  let k = mk_key engine [ "xml" ] in
+  (match Cache.find cache k with
+  | _ -> Alcotest.fail "instrument exception must escape Cache.find"
+  | exception Failure _ -> ());
+  boom := false;
+  let done_flag = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        Cache.add cache k empty_result;
+        Atomic.set done_flag true)
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get done_flag)) && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool) "writer acquired the shard lock after the raise" true
+    (Atomic.get done_flag);
+  Domain.join writer;
+  Alcotest.(check bool) "entry written" true (Cache.find cache k <> None)
+
 let test_budget_class () =
   Alcotest.(check string) "none" "unbudgeted" (Exec.budget_class_of None);
   Alcotest.(check string) "empty spec" "unbudgeted"
@@ -570,6 +606,8 @@ let tests =
       test_cache_contention_stress;
     Alcotest.test_case "cache read-mostly journal replays clean" `Quick
       test_cache_read_mostly_journal;
+    Alcotest.test_case "cache releases shard lock when instrument raises"
+      `Quick test_cache_instrument_raise_releases_lock;
     Alcotest.test_case "budget class strings" `Quick test_budget_class;
     Alcotest.test_case "jobs=4 determinism on paper fixtures" `Quick
       test_batch_determinism_fixtures;

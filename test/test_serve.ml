@@ -5,6 +5,7 @@
 module Http = Xks_serve.Http
 module Admission = Xks_robust.Admission
 module Limits = Xks_robust.Limits
+module Server = Xks_serve.Server
 
 let feed_all limits chunks =
   let r = Http.reader limits in
@@ -292,6 +293,42 @@ let test_admission_concurrent () =
     (Admission.admitted_total a + Admission.rejected_total a)
     (4 * 2000)
 
+(* --- server lifecycle: failed create must release what it took --- *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+(* A refused configuration raises before any resource is acquired, and
+   a bind failure raises after both the socket fd and the worker pool
+   exist: on every raise path out of [Server.create] the fd table must
+   end where it started (the pool is shut down, the fd closed). *)
+let test_create_failure_leaks_nothing () =
+  if not (Sys.file_exists "/proc/self/fd") then ()
+  else begin
+    let engine =
+      Xks_core.Engine.of_index
+        (Xks_index.Inverted.build
+           (Xks_xml.Parser.parse_string
+              "<a><b>xml search</b><c>keyword</c></a>"))
+    in
+    let before = count_fds () in
+    (match
+       Server.create
+         { (Server.default_config ~socket_path:"/tmp/xks_nofd.sock" ()) with
+           Server.max_hits = 0 }
+         engine
+     with
+    | _ -> Alcotest.fail "max_hits = 0 must be refused"
+    | exception Invalid_argument _ -> ());
+    (match
+       Server.create
+         (Server.default_config ~socket_path:"/xks-no-such-dir/xks.sock" ())
+         engine
+     with
+    | _ -> Alcotest.fail "bind into a missing directory must fail"
+    | exception Unix.Unix_error _ -> ());
+    Alcotest.(check int) "no fd leaked by failed create" before (count_fds ())
+  end
+
 let tests =
   [
     Alcotest.test_case "http: simple request" `Quick test_parse_simple;
@@ -318,4 +355,6 @@ let tests =
     Alcotest.test_case "admission: error mapping" `Quick
       test_admission_error_mapping;
     Alcotest.test_case "admission: concurrent" `Quick test_admission_concurrent;
+    Alcotest.test_case "server: failed create leaks no fd" `Quick
+      test_create_failure_leaks_nothing;
   ]

@@ -1,0 +1,162 @@
+(* Shared driver/reporting layer for the xks static analyzers.
+
+   xkslint, xksrace and xksleak are separate binaries with one
+   contract: scan the directory roots given on the command line, print
+   findings in the compiler's own location format (or one JSON object
+   under [--json]), and exit 0 clean / 1 findings / 2 usage-or-parse
+   errors.  This module is that contract, factored out so the three
+   tools cannot drift: the finding record, the deterministic sort, the
+   text and JSON printers, the directory walk, the parse front end and
+   the exit logic all live here.
+
+   The JSON finding schema is shared by all tools:
+
+     {"tool": <name>, "files_scanned": N,
+      "findings": [{"file", "line", "cstart", "cend", "rule",
+                    "message"}, ...]}
+
+   with 1-based lines and 0-based column spans (compiler convention). *)
+
+type finding = {
+  file : string;
+  line : int;
+  cstart : int;  (* column span, 0-based, compiler convention *)
+  cend : int;
+  rule : string;
+  msg : string;
+}
+
+(* --- locations --- *)
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+
+let cols_of (loc : Location.t) =
+  ( loc.loc_start.pos_cnum - loc.loc_start.pos_bol,
+    loc.loc_end.pos_cnum - loc.loc_end.pos_bol )
+
+(* --- deterministic ordering: file, then line, then column, then rule --- *)
+
+let sort findings =
+  List.sort
+    (fun a b ->
+      let c = String.compare a.file b.file in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.line b.line in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.cstart b.cstart in
+          if c <> 0 then c else String.compare a.rule b.rule)
+    findings
+
+(* --- source discovery and parsing --- *)
+
+let rec walk_dir path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry > 0 && not (Char.equal entry.[0] '.') then
+          walk_dir (Filename.concat path entry) acc
+        else acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort String.compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_implementation ~tool path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> structure
+  | exception Syntaxerr.Error _ ->
+      Printf.eprintf "%s: %s: syntax error\n" tool path;
+      exit 2
+
+(* --- command line: [--json] plus one or more directory roots --- *)
+
+let parse_argv ~tool argv =
+  let json = ref false in
+  let roots = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--json" -> json := true
+        | _ -> roots := arg :: !roots)
+    argv;
+  let roots = List.rev !roots in
+  if roots = [] then begin
+    Printf.eprintf "usage: %s [--json] DIR...\n" tool;
+    exit 2
+  end;
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then begin
+        Printf.eprintf "%s: no such file or directory: %s\n" tool r;
+        exit 2
+      end)
+    roots;
+  (!json, roots)
+
+(* --- output --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_text f =
+  Printf.printf "File \"%s\", line %d, characters %d-%d:\n[%s] %s\n" f.file
+    f.line f.cstart f.cend f.rule f.msg
+
+let print_json ~tool ~files_scanned findings =
+  print_string "{\n";
+  Printf.printf "  \"tool\": \"%s\",\n" tool;
+  Printf.printf "  \"files_scanned\": %d,\n" files_scanned;
+  Printf.printf "  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      Printf.printf
+        "%s\n    {\"file\": \"%s\", \"line\": %d, \"cstart\": %d, \"cend\": \
+         %d, \"rule\": \"%s\", \"message\": \"%s\"}"
+        (if i = 0 then "" else ",")
+        (json_escape f.file) f.line f.cstart f.cend (json_escape f.rule)
+        (json_escape f.msg))
+    findings;
+  if findings <> [] then print_string "\n  ";
+  print_string "]\n}\n"
+
+(* Print the (sorted) findings and exit with the shared contract: 0
+   clean, 1 findings (with a one-line summary on stderr in text mode). *)
+let report ~tool ~json ~files_scanned findings =
+  let findings = sort findings in
+  if json then print_json ~tool ~files_scanned findings
+  else List.iter print_text findings;
+  match findings with
+  | [] -> exit 0
+  | _ :: _ ->
+      if not json then
+        Printf.eprintf "%s: %d finding(s) in %d file(s) (%d files scanned)\n"
+          tool (List.length findings)
+          (List.length
+             (List.sort_uniq String.compare
+                (List.map (fun f -> f.file) findings)))
+          files_scanned;
+      exit 1

@@ -1,0 +1,25 @@
+(* A shard store whose read path instruments the lock section through
+   an unknown closure (the hook may raise — the caller cannot bound
+   it), and whose save path pushes the payload through a failpoint
+   site while the output channel is open.  Neither region has an
+   exception-safe release, so both raising sites must be flagged. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable hits : int;
+  observe : (int -> unit) option;
+}
+
+let observe t n = match t.observe with None -> () | Some f -> f n
+
+let read t =
+  Mutex.lock t.lock;
+  observe t t.hits;
+  let v = t.hits in
+  Mutex.unlock t.lock;
+  v
+
+let save t path =
+  let oc = open_out_bin path in
+  output_string oc (Failpoint.apply "store.save" (string_of_int t.hits));
+  close_out oc

@@ -1,0 +1,12 @@
+(* Admission helpers called from release finalizers assert noraise —
+   a raise inside a finalizer would mask the original exception.  The
+   first helper still failwiths on a negative count: the assertion
+   contradicts the may-raise fixpoint and must be reported.  The
+   second is genuinely total and must stay clean. *)
+
+(* xksleak: noraise *)
+let clamp n = if n < 0 then failwith "negative quota" else n
+
+(* xksleak: noraise *)
+let note_release released total =
+  if released > total then min released total else released

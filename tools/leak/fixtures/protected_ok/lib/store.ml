@@ -1,0 +1,27 @@
+(* The leak_on_raise store with the two safe forms applied: the lock
+   section and the channel both release through a [Fun.protect]
+   finalizer, so the same raising sites (the unknown observe closure,
+   the failpoint) are exception-safe and the tree must pass clean. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable hits : int;
+  observe : (int -> unit) option;
+}
+
+let observe t n = match t.observe with None -> () | Some f -> f n
+
+let read t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      observe t t.hits;
+      t.hits)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Failpoint.apply "store.save" (string_of_int t.hits)))

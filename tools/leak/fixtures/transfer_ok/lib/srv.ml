@@ -1,0 +1,28 @@
+(* The serve-layer ownership chain in miniature: a builder returns the
+   fd it configures (implicit transfer by return, with the bind
+   failure path on release-and-reraise), the acceptor hands each
+   connection fd into a task closure (explicit transfer), and the task
+   owns its fd — the protect finalizer is the single close site.  The
+   whole chain must pass clean. *)
+
+(* xksleak: owns fd *)
+let serve_conn fd =
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> ignore (Unix.read fd (Bytes.create 1) 0 1))
+
+let submit f = f ()
+
+let accept_one listen_fd =
+  match Unix.accept listen_fd with
+  | fd, _ ->
+      (* xksleak: transfers fd *)
+      submit (fun () -> serve_conn fd)
+
+let listener port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd

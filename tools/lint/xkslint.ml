@@ -45,14 +45,18 @@
 
    — so editors and CI annotators that already parse ocaml diagnostics
    pick them up unchanged ([missing-mli], which has no source span,
-   anchors to line 1, characters 0-0).  [--json] instead emits one
-   object {tool, files_scanned, findings: [{file, line, characters,
-   rule, message}]} on stdout for machine ingestion.  A finding is
+   anchors to line 1, characters 0-0).  Output, the [--json] schema
+   ({tool, files_scanned, findings: [{file, line, cstart, cend, rule,
+   message}]}) and the exit contract (0 clean, 1 findings, 2 usage or
+   parse errors) are the shared analyzer layer, [Xks_report.Report] —
+   one contract for xkslint, xksrace and xksleak.  A finding is
    suppressed by the comment [(* xkslint: allow <rule> *)] on the same
-   line or the line directly above.  Exit status: 0 clean, 1 findings,
-   2 usage or parse errors. *)
+   line or the line directly above. *)
 
 module StringSet = Set.Make (String)
+module Report = Xks_report.Report
+
+let tool = "xkslint"
 
 type rule =
   | Poly_compare
@@ -69,15 +73,6 @@ let rule_id = function
   | Stdout_print -> "stdout-print"
   | Missing_mli -> "missing-mli"
   | Module_state -> "module-state"
-
-type finding = {
-  file : string;
-  line : int;
-  cstart : int;  (* column span, 0-based, compiler convention *)
-  cend : int;
-  rule : rule;
-  msg : string;
-}
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                      *)
@@ -207,11 +202,8 @@ let allowed allows line rule =
 (* ------------------------------------------------------------------ *)
 (* Per-file AST checks                                                *)
 
-let line_of (loc : Location.t) = loc.loc_start.pos_lnum
-
-let cols_of (loc : Location.t) =
-  ( loc.loc_start.pos_cnum - loc.loc_start.pos_bol,
-    loc.loc_end.pos_cnum - loc.loc_end.pos_bol )
+let line_of = Report.line_of
+let cols_of = Report.cols_of
 
 (* Names let-bound anywhere in the file: a module that defines its own
    [compare]/[min]/[max] may use them bare. *)
@@ -247,17 +239,14 @@ let rec pattern_is_catch_all (p : Parsetree.pattern) =
 
 let check_file path =
   let findings = ref [] in
-  let ic = open_in_bin path in
-  let src =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+  let src = Report.read_file path in
   let allows = scan_allows src in
   let area = area_of_path path in
   let emit ~line ~cols:(cstart, cend) rule msg =
     if not (allowed allows line rule) then
-      findings := { file = path; line; cstart; cend; rule; msg } :: !findings
+      findings :=
+        { Report.file = path; line; cstart; cend; rule = rule_id rule; msg }
+        :: !findings
   in
   let emit_at loc rule msg =
     emit ~line:(line_of loc) ~cols:(cols_of loc) rule msg
@@ -272,9 +261,7 @@ let check_file path =
              (Filename.basename path)
              (Filename.basename path))
   | Bin | Bench | Test | Other_area -> ());
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf path;
-  let structure = Parse.implementation lexbuf in
+  let structure = Report.parse_implementation ~tool path src in
   (* R6: mutable state created at module level in library code.  A
      dedicated iterator that never descends into function bodies —
      state allocated per call is fine; state allocated when the module
@@ -407,113 +394,10 @@ let check_file path =
   !findings
 
 (* ------------------------------------------------------------------ *)
-(* Directory walk and reporting                                       *)
-
-let rec walk path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if String.length entry > 0 && not (Char.equal entry.[0] '.') then
-          walk (Filename.concat path entry) acc
-        else acc)
-      acc
-      (let entries = Sys.readdir path in
-       Array.sort String.compare entries;
-       entries)
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let print_text f =
-  Printf.printf "File \"%s\", line %d, characters %d-%d:\n[%s] %s\n" f.file
-    f.line f.cstart f.cend (rule_id f.rule) f.msg
-
-let print_json ~files_scanned findings =
-  print_string "{\n";
-  Printf.printf "  \"tool\": \"xkslint\",\n";
-  Printf.printf "  \"files_scanned\": %d,\n" files_scanned;
-  Printf.printf "  \"findings\": [";
-  List.iteri
-    (fun i f ->
-      Printf.printf "%s\n    {\"file\": \"%s\", \"line\": %d, \"characters\": \
-                     [%d, %d], \"rule\": \"%s\", \"message\": \"%s\"}"
-        (if i = 0 then "" else ",")
-        (json_escape f.file) f.line f.cstart f.cend (rule_id f.rule)
-        (json_escape f.msg))
-    findings;
-  if findings <> [] then print_string "\n  ";
-  print_string "]\n}\n"
+(* Driver (walk, output and exit contract live in Report)             *)
 
 let () =
-  let json = ref false in
-  let roots = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | _ -> roots := arg :: !roots)
-    Sys.argv;
-  let roots = List.rev !roots in
-  if roots = [] then begin
-    prerr_endline "usage: xkslint [--json] DIR...";
-    exit 2
-  end;
-  List.iter
-    (fun r ->
-      if not (Sys.file_exists r) then begin
-        Printf.eprintf "xkslint: no such file or directory: %s\n" r;
-        exit 2
-      end)
-    roots;
-  let files = List.concat_map (fun r -> List.rev (walk r [])) roots in
-  let findings =
-    List.concat_map
-      (fun f ->
-        match check_file f with
-        | findings -> findings
-        | exception Syntaxerr.Error _ ->
-            Printf.eprintf "xkslint: %s: syntax error\n" f;
-            exit 2)
-      files
-  in
-  let findings =
-    List.sort
-      (fun a b ->
-        let c = String.compare a.file b.file in
-        if c <> 0 then c
-        else
-          let c = Int.compare a.line b.line in
-          if c <> 0 then c
-          else
-            let c = Int.compare a.cstart b.cstart in
-            if c <> 0 then c
-            else String.compare (rule_id a.rule) (rule_id b.rule))
-      findings
-  in
-  if !json then print_json ~files_scanned:(List.length files) findings
-  else List.iter print_text findings;
-  match findings with
-  | [] -> ()
-  | _ :: _ ->
-      if not !json then
-        Printf.eprintf
-          "xkslint: %d finding(s) in %d file(s) (%d files scanned)\n"
-          (List.length findings)
-          (List.length
-             (List.sort_uniq String.compare (List.map (fun f -> f.file) findings)))
-          (List.length files);
-      exit 1
+  let json, roots = Report.parse_argv ~tool Sys.argv in
+  let files = List.concat_map (fun r -> List.rev (Report.walk_dir r [])) roots in
+  let findings = List.concat_map check_file files in
+  Report.report ~tool ~json ~files_scanned:(List.length files) findings

@@ -1,0 +1,23 @@
+(* A journal writer that passes its payload through a failpoint site
+   while holding the buffer's mutex.  Failpoint sites raise by
+   injection (the fault suites arm them with [Raise]), so the bare
+   lock/unlock variant leaks the mutex on the injected path — xksrace
+   must flag the failpoint call (raise-under-lock).  The protected
+   variant is the fix: [Mutex.protect] releases in a finalizer, so the
+   same failpoint site is exception-safe and must stay clean. *)
+
+type t = {
+  mutex : Mutex.t;
+  buf : Buffer.t;  (* xksrace: guarded_by mutex *)
+}
+
+let create () = { mutex = Mutex.create (); buf = Buffer.create 64 }
+
+let append_bare t data =
+  Mutex.lock t.mutex;
+  Buffer.add_string t.buf (Failpoint.apply "journal.write" data);
+  Mutex.unlock t.mutex
+
+let append_protected t data =
+  Mutex.protect t.mutex (fun () ->
+      Buffer.add_string t.buf (Failpoint.apply "journal.write" data))

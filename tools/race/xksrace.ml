@@ -62,32 +62,45 @@
                                                 function arguments with
                                                 the lock held
 
+   E5 [raise-under-lock]  A call to [Failpoint.apply] /
+                          [Failpoint.read_file] / [Failpoint.trigger]
+                          while a mutex is held via *bare*
+                          [Mutex.lock] sequencing.  Failpoint sites
+                          raise by injection (the fault suites arm
+                          them with [Raise]), so the unlock after the
+                          call is unreachable on the injected path and
+                          the lock leaks — the raise inventory here
+                          matches xksleak's may-raise fixpoint, which
+                          treats failpoint sites as raising.  Inside
+                          [Mutex.protect] or a [locks]-annotated
+                          wrapper the release is exception-safe and no
+                          finding is emitted.
+
    Known approximations, by design (this is a linter, not a verifier):
    locks are matched by name, not aliasing; cross-module call
    propagation into domain closures stops at module boundaries; arrays
    are exempt; a closure built under a lock is assumed not to outlive
-   it.  Output: compiler-standard two-line findings
-   (File "...", line N, characters A-B: / [rule] message) or [--json].
-   Exit status: 0 clean, 1 findings, 2 usage or parse errors. *)
+   it.  Output, the [--json] schema and the 0/1/2 exit contract are
+   the shared analyzer layer ([Xks_report.Report]). *)
 
 module StringSet = Set.Make (String)
+module Report = Xks_report.Report
 
-type kind = Unguarded_escape | Unlocked_access | Requires_lock | Frozen_mutable
+let tool = "xksrace"
+
+type kind =
+  | Unguarded_escape
+  | Unlocked_access
+  | Requires_lock
+  | Frozen_mutable
+  | Raise_under_lock
 
 let kind_id = function
   | Unguarded_escape -> "unguarded-escape"
   | Unlocked_access -> "unlocked-access"
   | Requires_lock -> "requires-lock"
   | Frozen_mutable -> "frozen-mutable"
-
-type finding = {
-  file : string;
-  line : int;
-  cstart : int;
-  cend : int;
-  kind : kind;
-  msg : string;
-}
+  | Raise_under_lock -> "raise-under-lock"
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                      *)
@@ -200,11 +213,8 @@ let suppressed anns line =
 (* ------------------------------------------------------------------ *)
 (* Locations                                                          *)
 
-let line_of (loc : Location.t) = loc.loc_start.pos_lnum
-
-let cols_of (loc : Location.t) =
-  ( loc.loc_start.pos_cnum - loc.loc_start.pos_bol,
-    loc.loc_end.pos_cnum - loc.loc_end.pos_bol )
+let line_of = Report.line_of
+let cols_of = Report.cols_of
 
 let last_of (lid : Longident.t) =
   match Longident.flatten lid with
@@ -495,7 +505,12 @@ let spawn_args ~local_names head (args : (Asttypes.arg_label * _) list) =
       | _ -> None)
   | _ -> None
 
-type env = { held : StringSet.t; in_domain : bool }
+(* [held] is every mutex the walker considers locked; [bare_held] is
+   the subset acquired by bare [Mutex.lock] sequencing, whose release
+   is a plain statement an exception can skip — the only form E5
+   flags.  [Mutex.protect] and [locks]-annotated wrappers release in a
+   [Fun.protect] finalizer, so they extend [held] only. *)
+type env = { held : StringSet.t; bare_held : StringSet.t; in_domain : bool }
 
 (* Where a lock-relevant finding points at a declaration, remind the
    reader where that declaration lives. *)
@@ -511,7 +526,8 @@ let check_file ~fields_by_name ~toplevels ~interesting fi =
     if (not (suppressed fi.fi_anns line)) && not (Hashtbl.mem seen key) then begin
       Hashtbl.add seen key ();
       findings :=
-        { file = fi.fi_path; line; cstart; cend; kind; msg } :: !findings
+        { Report.file = fi.fi_path; line; cstart; cend; rule = kind_id kind; msg }
+        :: !findings
     end
   in
   (* Same-file lock-discipline annotations on functions, and mutable
@@ -635,8 +651,18 @@ let check_file ~fields_by_name ~toplevels ~interesting fi =
         walk env a;
         let env =
           match mutex_call a with
-          | Some ("lock", m) -> { env with held = StringSet.add m env.held }
-          | Some ("unlock", m) -> { env with held = StringSet.remove m env.held }
+          | Some ("lock", m) ->
+              {
+                env with
+                held = StringSet.add m env.held;
+                bare_held = StringSet.add m env.bare_held;
+              }
+          | Some ("unlock", m) ->
+              {
+                env with
+                held = StringSet.remove m env.held;
+                bare_held = StringSet.remove m env.bare_held;
+              }
           | _ -> env
         in
         walk env b
@@ -683,6 +709,26 @@ let check_file ~fields_by_name ~toplevels ~interesting fi =
             else walk env a)
           plain_args
     | None -> (
+        (* E5: failpoint sites raise by injection; under a bare lock
+           the matching unlock is skipped on the injected path. *)
+        (match head.pexp_desc with
+        | Pexp_ident { txt; loc }
+          when (match qualifier txt with
+               | Some "Failpoint" -> true
+               | Some _ | None -> false)
+               && List.exists (String.equal (last_of txt))
+                    [ "apply"; "read_file"; "trigger" ] ->
+            StringSet.iter
+              (fun m ->
+                emit loc Raise_under_lock
+                  (Printf.sprintf
+                     "call to 'Failpoint.%s' (may raise by injection) while \
+                      '%s' is held via bare Mutex.lock — an injected fault \
+                      skips the unlock and leaks the lock; use Mutex.protect \
+                      or release-and-reraise around the failpoint site"
+                     (last_of txt) m))
+              env.bare_held
+        | _ -> ());
         match head.pexp_desc with
         | Pexp_ident { txt = Ldot (Lident "Mutex", "protect"); _ } -> (
             match plain_args with
@@ -757,7 +803,9 @@ let check_file ~fields_by_name ~toplevels ~interesting fi =
     in
     walk env vb.pvb_expr
   in
-  let top = { held = StringSet.empty; in_domain = false } in
+  let top =
+    { held = StringSet.empty; bare_held = StringSet.empty; in_domain = false }
+  in
   let rec item (si : Parsetree.structure_item) =
     match si.pstr_desc with
     | Pstr_value (_, vbs) ->
@@ -781,11 +829,11 @@ let frozen_findings ~interesting fields toplevels =
     if frozen f.fl_file && interesting f && f.fl_ann = None then
       Some
         {
-          file = f.fl_file;
+          Report.file = f.fl_file;
           line = f.fl_line;
           cstart = f.fl_cstart;
           cend = f.fl_cend;
-          kind = Frozen_mutable;
+          rule = kind_id Frozen_mutable;
           msg =
             Printf.sprintf
               "mutable member '%s' of frozen-builder module %s has no safety \
@@ -799,11 +847,11 @@ let frozen_findings ~interesting fields toplevels =
     if frozen ts.ts_file && (not ts.ts_sync) && ts.ts_ann = None then
       Some
         {
-          file = ts.ts_file;
+          Report.file = ts.ts_file;
           line = ts.ts_line;
           cstart = 0;
           cend = 0;
-          kind = Frozen_mutable;
+          rule = kind_id Frozen_mutable;
           msg =
             Printf.sprintf
               "module-level mutable binding '%s' (%s) in frozen-builder \
@@ -816,99 +864,19 @@ let frozen_findings ~interesting fields toplevels =
   List.filter_map of_field fields @ List.filter_map of_toplevel toplevels
 
 (* ------------------------------------------------------------------ *)
-(* Driver                                                             *)
-
-let rec walk_dir path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if String.length entry > 0 && not (Char.equal entry.[0] '.') then
-          walk_dir (Filename.concat path entry) acc
-        else acc)
-      acc
-      (let entries = Sys.readdir path in
-       Array.sort String.compare entries;
-       entries)
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+(* Driver (walk, output and exit contract live in Report)             *)
 
 let parse_file path =
-  let ic = open_in_bin path in
-  let src =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf path;
-  match Parse.implementation lexbuf with
-  | structure ->
-      {
-        fi_path = path;
-        fi_anns = scan_annotations path src;
-        fi_structure = structure;
-      }
-  | exception Syntaxerr.Error _ ->
-      Printf.eprintf "xksrace: %s: syntax error\n" path;
-      exit 2
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let print_text f =
-  Printf.printf "File \"%s\", line %d, characters %d-%d:\n[%s] %s\n" f.file
-    f.line f.cstart f.cend (kind_id f.kind) f.msg
-
-let print_json ~files_scanned findings =
-  print_string "{\n";
-  Printf.printf "  \"tool\": \"xksrace\",\n";
-  Printf.printf "  \"files_scanned\": %d,\n" files_scanned;
-  Printf.printf "  \"findings\": [";
-  List.iteri
-    (fun i f ->
-      Printf.printf "%s\n    {\"file\": \"%s\", \"line\": %d, \"characters\": \
-                     [%d, %d], \"rule\": \"%s\", \"message\": \"%s\"}"
-        (if i = 0 then "" else ",")
-        (json_escape f.file) f.line f.cstart f.cend (kind_id f.kind)
-        (json_escape f.msg))
-    findings;
-  if findings <> [] then print_string "\n  ";
-  print_string "]\n}\n"
+  let src = Report.read_file path in
+  {
+    fi_path = path;
+    fi_anns = scan_annotations path src;
+    fi_structure = Report.parse_implementation ~tool path src;
+  }
 
 let () =
-  let json = ref false in
-  let roots = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | _ -> roots := arg :: !roots)
-    Sys.argv;
-  let roots = List.rev !roots in
-  if roots = [] then begin
-    prerr_endline "usage: xksrace [--json] DIR...";
-    exit 2
-  end;
-  List.iter
-    (fun r ->
-      if not (Sys.file_exists r) then begin
-        Printf.eprintf "xksrace: no such file or directory: %s\n" r;
-        exit 2
-      end)
-    roots;
-  let files = List.concat_map (fun r -> List.rev (walk_dir r [])) roots in
+  let json, roots = Report.parse_argv ~tool Sys.argv in
+  let files = List.concat_map (fun r -> List.rev (Report.walk_dir r [])) roots in
   let infos = List.map parse_file files in
   let fields = List.concat_map fields_of_file infos in
   let toplevels = List.concat_map toplevels_of_file infos in
@@ -936,29 +904,4 @@ let () =
         (fun fi -> check_file ~fields_by_name ~toplevels ~interesting fi)
         infos
   in
-  let findings =
-    List.sort
-      (fun a b ->
-        let c = String.compare a.file b.file in
-        if c <> 0 then c
-        else
-          let c = Int.compare a.line b.line in
-          if c <> 0 then c
-          else
-            let c = Int.compare a.cstart b.cstart in
-            if c <> 0 then c else String.compare (kind_id a.kind) (kind_id b.kind))
-      findings
-  in
-  if !json then print_json ~files_scanned:(List.length files) findings
-  else List.iter print_text findings;
-  match findings with
-  | [] -> ()
-  | _ :: _ ->
-      if not !json then
-        Printf.eprintf
-          "xksrace: %d finding(s) in %d file(s) (%d files scanned)\n"
-          (List.length findings)
-          (List.length
-             (List.sort_uniq String.compare (List.map (fun f -> f.file) findings)))
-          (List.length files);
-      exit 1
+  Report.report ~tool ~json ~files_scanned:(List.length files) findings
