@@ -224,6 +224,73 @@ let record_throughput ~dataset ~queries ~distinct ~cache_mb ~host_domains
         ]
        @ warm_field))
 
+(* --- BENCH_topk.json: ranked top-k vs full enumeration --- *)
+
+type topk_row = {
+  tk_query : string list;
+  tk_class : string;  (* "high_df" | "low_df" *)
+  tk_hits : int;  (* hits returned by the top-k path (<= k) *)
+  tk_scores : float list;  (* their BM25 scores, best first *)
+  tk_early_exit : int;  (* topk.early_exit of one traced run *)
+  tk_pruned : int;  (* topk.pruned_postings of the same run *)
+  tk_topk_cold_ms : float;  (* first execution of the query, each path *)
+  tk_full_cold_ms : float;
+  tk_topk : Runner.dist;  (* warm repetitions, each path *)
+  tk_full : Runner.dist;
+}
+
+let topk_row_json r =
+  J.Obj
+    ([
+       ("query", J.String (String.concat " " r.tk_query));
+       ("class", J.String r.tk_class);
+       ("hits", J.Int r.tk_hits);
+       ("scores", J.List (List.map (fun s -> J.Float s) r.tk_scores));
+       ("early_exit", J.Int r.tk_early_exit);
+       ("pruned_postings", J.Int r.tk_pruned);
+       ("topk_cold_ms", J.Float r.tk_topk_cold_ms);
+       ("full_cold_ms", J.Float r.tk_full_cold_ms);
+     ]
+    @ dist_fields "topk" r.tk_topk
+    @ dist_fields "full" r.tk_full)
+
+(* Per-class roll-up; json_check re-derives every field from the rows
+   (the medians with its own [median] — same upper-median definition as
+   [median_ms]) and then checks the contract against the high_df
+   entry. *)
+let topk_class_json rows c =
+  let sub = List.filter (fun r -> r.tk_class = c) rows in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 sub in
+  J.Obj
+    [
+      ("class", J.String c);
+      ("queries", J.Int (List.length sub));
+      ("early_exit", J.Int (sum (fun r -> r.tk_early_exit)));
+      ("pruned_postings", J.Int (sum (fun r -> r.tk_pruned)));
+      ( "topk_p50_ms",
+        J.Float (median_ms (List.map (fun r -> r.tk_topk.Runner.p50_ms) sub))
+      );
+      ( "full_p50_ms",
+        J.Float (median_ms (List.map (fun r -> r.tk_full.Runner.p50_ms) sub))
+      );
+    ]
+
+let record_topk ~dataset ~k ~reps rows =
+  let classes =
+    List.sort_uniq String.compare (List.map (fun r -> r.tk_class) rows)
+  in
+  write_doc "topk"
+    (J.Obj
+       [
+         ("figure", J.String "topk");
+         ("unit", J.String "ms");
+         ("dataset", J.String dataset);
+         ("k", J.Int k);
+         ("reps", J.Int reps);
+         ("rows", J.List (List.map topk_row_json rows));
+         ("classes", J.List (List.map (topk_class_json rows) classes));
+       ])
+
 (* --- BENCH_serving.json: HTTP serving layer under offered load --- *)
 
 type serving_level = {

@@ -284,6 +284,137 @@ let check_throughput path doc =
   in
   List.length cold_parsed + warm_count
 
+(* --- topk: ranked top-k vs full enumeration --- *)
+
+type tk_row = {
+  tk_class : string;
+  tk_exits : int;
+  tk_pruned : int;
+  tk_topk_p50 : float;
+  tk_full_p50 : float;
+}
+
+let check_topk path doc =
+  let k = get "k" (Option.bind (J.member "k" doc) J.to_int) in
+  if k < 1 then fail "%s: k < 1" path;
+  ignore (get "dataset" (Option.bind (J.member "dataset" doc) J.to_str) : string);
+  let rows = get "rows" (Option.bind (J.member "rows" doc) J.to_list) in
+  if rows = [] then fail "%s: no rows" path;
+  let parsed =
+    List.map
+      (fun row ->
+        let str f = get f (Option.bind (J.member f row) J.to_str) in
+        let int f = get f (Option.bind (J.member f row) J.to_int) in
+        let num f = get f (Option.bind (J.member f row) J.to_float) in
+        let query = str "query" in
+        let klass = str "class" in
+        (match klass with
+        | "high_df" | "low_df" -> ()
+        | c -> fail "%s/%s: unknown class %S" path query c);
+        let hits = int "hits" in
+        if hits < 0 || hits > k then
+          fail "%s/%s: %d hits outside [0, k=%d]" path query hits k;
+        let scores =
+          List.map
+            (fun s -> get "score" (J.to_float s))
+            (get "scores" (Option.bind (J.member "scores" row) J.to_list))
+        in
+        if List.length scores <> hits then
+          fail "%s/%s: %d scores for %d hits" path query
+            (List.length scores) hits;
+        (* The contract the ranking exists for: each result list is
+           sorted best-first. *)
+        let rec monotone = function
+          | a :: (b :: _ as rest) ->
+              if a < b then
+                fail "%s/%s: scores not sorted best-first (%.6f < %.6f)"
+                  path query a b;
+              monotone rest
+          | [ _ ] | [] -> ()
+        in
+        monotone scores;
+        let exits = int "early_exit" in
+        let pruned = int "pruned_postings" in
+        if exits < 0 || pruned < 0 then
+          fail "%s/%s: negative counter" path query;
+        if pruned > 0 && exits = 0 then
+          fail "%s/%s: pruned postings without an early exit" path query;
+        if num "topk_cold_ms" < 0.0 || num "full_cold_ms" < 0.0 then
+          fail "%s/%s: negative cold timing" path query;
+        List.iter
+          (fun prefix ->
+            let p50 = num (prefix ^ "_p50_ms") in
+            let p95 = num (prefix ^ "_p95_ms") in
+            let p99 = num (prefix ^ "_p99_ms") in
+            if num (prefix ^ "_ms") < 0.0 || p50 < 0.0 then
+              fail "%s/%s: negative %s timing" path query prefix;
+            if p50 > p95 || p95 > p99 then
+              fail "%s/%s: %s percentiles not monotone (%.4f/%.4f/%.4f)"
+                path query prefix p50 p95 p99)
+          [ "topk"; "full" ];
+        {
+          tk_class = klass;
+          tk_exits = exits;
+          tk_pruned = pruned;
+          tk_topk_p50 = num "topk_p50_ms";
+          tk_full_p50 = num "full_p50_ms";
+        })
+      rows
+  in
+  let classes =
+    get "classes" (Option.bind (J.member "classes" doc) J.to_list)
+  in
+  let seen =
+    List.map
+      (fun cls ->
+        let name =
+          get "class name" (Option.bind (J.member "class" cls) J.to_str)
+        in
+        let int f = get f (Option.bind (J.member f cls) J.to_int) in
+        let num f = get f (Option.bind (J.member f cls) J.to_float) in
+        let sub = List.filter (fun r -> r.tk_class = name) parsed in
+        if sub = [] then fail "%s/%s: class has no rows" path name;
+        (* Every roll-up field must re-derive from the rows. *)
+        if int "queries" <> List.length sub then
+          fail "%s/%s: queries count inconsistent with rows" path name;
+        let sum f = List.fold_left (fun acc r -> acc + f r) 0 sub in
+        if int "early_exit" <> sum (fun r -> r.tk_exits) then
+          fail "%s/%s: early_exit roll-up inconsistent with rows" path name;
+        if int "pruned_postings" <> sum (fun r -> r.tk_pruned) then
+          fail "%s/%s: pruned_postings roll-up inconsistent with rows" path
+            name;
+        let topk_p50 = num "topk_p50_ms" in
+        let full_p50 = num "full_p50_ms" in
+        if
+          not
+            (close ~expect:(median (List.map (fun r -> r.tk_topk_p50) sub))
+               topk_p50)
+        then fail "%s/%s: topk_p50_ms is not the row median" path name;
+        if
+          not
+            (close ~expect:(median (List.map (fun r -> r.tk_full_p50) sub))
+               full_p50)
+        then fail "%s/%s: full_p50_ms is not the row median" path name;
+        (name, int "early_exit", topk_p50, full_p50))
+      classes
+  in
+  let find name =
+    match List.find_opt (fun (n, _, _, _) -> n = name) seen with
+    | Some c -> c
+    | None -> fail "%s: missing %S class" path name
+  in
+  ignore (find "low_df");
+  (* The perf contract: on the head-of-df class the early exit must
+     actually fire, and the top-k median must not lose to constructing
+     and scoring every fragment. *)
+  let _, high_exits, high_topk_p50, high_full_p50 = find "high_df" in
+  if high_exits < 1 then
+    fail "%s/high_df: early exit never fired across the class" path;
+  if high_topk_p50 > high_full_p50 then
+    fail "%s/high_df: top-k p50 %.4f ms above full-enumeration p50 %.4f ms"
+      path high_topk_p50 high_full_p50;
+  List.length parsed
+
 (* --- serving: the overload contract of the HTTP layer --- *)
 
 let check_serving path doc =
@@ -384,6 +515,7 @@ let () =
   let rows_checked =
     match figure with
     | "throughput" -> check_throughput path doc
+    | "topk" -> check_topk path doc
     | "serving" -> check_serving path doc
     | "fig5" | "fig6" -> check_figure path figure doc
     | f -> fail "unknown figure %S" f

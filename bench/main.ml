@@ -460,6 +460,42 @@ let throughput_cmd =
       const run $ scale_args $ jobs $ queries $ distinct $ cache_mb
       $ cold_only $ repeats)
 
+let topk_cmd =
+  let k =
+    Arg.(
+      value & opt int 10
+      & info [ "top-k" ] ~docv:"K" ~doc:"Results kept per query (top-k).")
+  in
+  let per_class =
+    Arg.(
+      value & opt int 10
+      & info [ "per-class" ] ~docv:"N"
+          ~doc:"Queries sampled per class (high_df and low_df).")
+  in
+  let terms =
+    Arg.(
+      value & opt int 2
+      & info [ "terms" ] ~docv:"N" ~doc:"Keywords per query.")
+  in
+  let reps =
+    Arg.(
+      value & opt int 6
+      & info [ "reps" ] ~docv:"N"
+          ~doc:"Warm repetitions per query and path (first run discarded).")
+  in
+  let run () k per_class terms reps =
+    Xks_bench.Topk.run ~k ~per_class ~terms ~reps ()
+  in
+  Cmd.v
+    (Cmd.info "topk"
+       ~doc:
+         "Ranked top-k vs full enumeration (BENCH_topk.json): BM25 \
+          searches over a Zipf-weighted mix of high-df and low-df \
+          keyword queries, timing the streaming top-k path against \
+          full-enumeration-then-sort and capturing the early-exit \
+          counters.")
+    Term.(const run $ scale_args $ k $ per_class $ terms $ reps)
+
 let serving_cmd =
   let workers =
     Arg.(
@@ -530,6 +566,7 @@ let run_all () =
   ablation_gdmct ();
   random_workload ();
   Xks_bench.Throughput.run ();
+  Xks_bench.Topk.run ();
   bechamel_suite ()
 
 let all_cmd =
@@ -548,5 +585,5 @@ let () =
           [
             fig5_cmd; fig6_cmd; ablation_cid_cmd; ablation_lca_cmd;
             ablation_slca_cmd; ablation_gdmct_cmd; random_cmd; bechamel_cmd;
-            throughput_cmd; serving_cmd; all_cmd;
+            throughput_cmd; topk_cmd; serving_cmd; all_cmd;
           ]))

@@ -1,0 +1,133 @@
+(* Ranked top-k vs full enumeration (BENCH_topk.json).
+
+   Two query classes over the DBLP corpus, both sampled Zipf(1.1) over
+   their keyword pool so the mix is popularity-weighted like a real
+   query log:
+
+   - {b high_df}: keywords from the head of the document-frequency
+     ranking (structural fields like year/title/author plus the head
+     content words).  These queries match nearly every entry, so full
+     enumeration constructs and scores hundreds of fragments per query
+     while top-k builds exactly [k]; they are also where the
+     score-bounded early exit fires — once the last container of some
+     keyword pops, that keyword's remaining availability hits zero and
+     the drain skips the surviving ancestors (see lib/lca/topk.ml).
+
+   - {b low_df}: keywords from the tail (small posting lists).  Few
+     fragments exist, top-k has nothing to prune, and the two paths
+     should cost about the same — this class is the control.
+
+   Per query both paths are timed cold (first execution, posting lists
+   untouched by this query) and then over [reps] warm repetitions with
+   the same discard-the-warm-up protocol as the figure harness
+   (Runner.measure_dist).  One extra traced top-k run captures the
+   topk.early_exit / topk.pruned_postings counters, and the hit scores
+   are recorded so json_check can assert the returned lists are sorted
+   best-first.  json_check re-derives the per-class medians and
+   enforces the contract: on high_df, early exits happened and the
+   top-k p50 is at or below the full-enumeration p50. *)
+
+module Engine = Xks_core.Engine
+module Inverted = Xks_index.Inverted
+module Trace = Xks_trace.Trace
+
+(* [count] keyword sets of [terms] distinct words, drawn Zipf(1.1) over
+   the pool's rank order, deterministic in [seed]. *)
+let zipf_queries ~seed ~count ~terms pool =
+  let n = Array.length pool in
+  if n < terms then invalid_arg "Topk.zipf_queries: pool too small";
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** 1.1));
+    cumulative.(i) <- !total
+  done;
+  let rng = Random.State.make [| seed; count; terms; n |] in
+  let sample () =
+    let u = Random.State.float rng !total in
+    let rec find i =
+      if i >= n - 1 || cumulative.(i) > u then i else find (i + 1)
+    in
+    find 0
+  in
+  let query () =
+    let picked = ref [] in
+    while List.length !picked < terms do
+      let w = pool.(sample ()) in
+      if not (List.mem w !picked) then picked := w :: !picked
+    done;
+    List.rev !picked
+  in
+  List.init count (fun _ -> query ())
+
+let run ?(k = 10) ?(per_class = 10) ?(terms = 2) ?(reps = 6) () =
+  let dataset = Datasets.find "dblp" in
+  let engine = Runner.load dataset in
+  let idx = Engine.index engine in
+  (* High pool: the df head.  Low pool: words with small but usable
+     posting lists (df >= 2, so multi-keyword co-occurrences exist),
+     rarest first. *)
+  let high_pool =
+    Array.of_list (List.map fst (Inverted.top_words idx 16))
+  in
+  let has_alpha w =
+    String.exists (fun c -> c >= 'a' && c <= 'z') w
+  in
+  let low_pool =
+    Inverted.vocabulary idx
+    |> List.filter_map (fun w ->
+           let df = Inverted.df idx w in
+           if df >= 2 && df <= 30 && has_alpha w then Some (w, df) else None)
+    |> List.sort (fun (a, da) (b, db) ->
+           match Int.compare da db with 0 -> String.compare a b | c -> c)
+    |> List.map fst
+    |> List.filteri (fun i _ -> i < 64)
+    |> Array.of_list
+  in
+  let measure klass query =
+    let topk_run () =
+      (Engine.search_result ~rank:`Bm25 ~k engine query).Engine.hits
+    in
+    let full_run () =
+      (Engine.search_result ~rank:`Bm25 engine query).Engine.hits
+    in
+    let topk_cold_ms, _ = Runner.time_ms topk_run in
+    let full_cold_ms, _ = Runner.time_ms full_run in
+    let topk_d, hits = Runner.measure_dist ~reps topk_run in
+    let full_d, _ = Runner.measure_dist ~reps full_run in
+    (* Counter snapshot of one traced run, untimed — the measured runs
+       stay on the untraced production path. *)
+    let t = Trace.create () in
+    ignore (Trace.with_current t topk_run : Engine.hit list);
+    {
+      Bench_json.tk_query = query;
+      tk_class = klass;
+      tk_hits = List.length hits;
+      tk_scores = List.map (fun (h : Engine.hit) -> h.score) hits;
+      tk_early_exit = Trace.counter t Trace.Topk_early_exit;
+      tk_pruned = Trace.counter t Trace.Topk_pruned_postings;
+      tk_topk_cold_ms = topk_cold_ms;
+      tk_full_cold_ms = full_cold_ms;
+      tk_topk = topk_d;
+      tk_full = full_d;
+    }
+  in
+  let rows =
+    List.map (measure "high_df")
+      (zipf_queries ~seed:27 ~count:per_class ~terms high_pool)
+    @ List.map (measure "low_df")
+        (zipf_queries ~seed:32 ~count:per_class ~terms low_pool)
+  in
+  Printf.printf
+    "\n## Top-k (k=%d) vs full enumeration (%s): BM25, %d queries/class\n"
+    k dataset.Datasets.name per_class;
+  Printf.printf "%-30s %8s %6s %12s %12s %6s %8s\n" "query" "class" "hits"
+    "topk-p50" "full-p50" "exits" "pruned";
+  List.iter
+    (fun (r : Bench_json.topk_row) ->
+      Printf.printf "%-30s %8s %6d %12.3f %12.3f %6d %8d\n"
+        (String.concat " " r.tk_query)
+        r.tk_class r.tk_hits r.tk_topk.Runner.p50_ms r.tk_full.Runner.p50_ms
+        r.tk_early_exit r.tk_pruned)
+    rows;
+  Bench_json.record_topk ~dataset:dataset.Datasets.name ~k ~reps rows

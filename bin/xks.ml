@@ -129,6 +129,44 @@ let search_cmd =
             "Algorithm: $(b,validrtf) (default), $(b,maxmatch) (revised) or \
              $(b,maxmatch-original) (SLCA only).")
   in
+  let rank_conv =
+    let parse = function
+      | "heuristic" -> Ok `Heuristic
+      | "bm25" -> Ok `Bm25
+      | "doc" -> Ok `Doc
+      | s -> Error (`Msg (Printf.sprintf "unknown rank mode %S" s))
+    in
+    let print fmt (r : Xks_core.Engine.rank_mode) =
+      Format.pp_print_string fmt
+        (match r with
+        | `Heuristic -> "heuristic"
+        | `Bm25 -> "bm25"
+        | `Doc -> "doc")
+    in
+    Arg.conv (parse, print)
+  in
+  let rank =
+    Arg.(
+      value
+      & opt rank_conv `Heuristic
+      & info [ "rank" ] ~docv:"MODE"
+          ~doc:
+            "Hit ordering: $(b,heuristic) (default, structural score), \
+             $(b,bm25) (BM25 over posting statistics) or $(b,doc) \
+             (document order).")
+  in
+  let top_k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top-k" ] ~docv:"K"
+          ~doc:
+            "Retrieve only the best $(docv) results.  With \
+             $(b,--rank bm25) the engine scores fragments during the \
+             traversal and terminates the scan early once no unseen \
+             fragment can enter the top $(docv); otherwise the ranked \
+             list is truncated.")
+  in
   let xml_out =
     Arg.(value & flag & info [ "x"; "xml" ] ~doc:"Print fragments as XML.")
   in
@@ -224,9 +262,9 @@ let search_cmd =
              caching).  Repeated queries in the batch are answered from \
              the cache.")
   in
-  let run file ws algorithm xml_out exact_cid limit snippets explain timeout_ms
-      max_nodes index_path repair stats_flag trace_json batch_file jobs
-      cache_mb =
+  let run file ws algorithm rank top_k xml_out exact_cid limit snippets explain
+      timeout_ms max_nodes index_path repair stats_flag trace_json batch_file
+      jobs cache_mb =
     let engine =
       match index_path with
       | Some idx_path -> engine_of_index ~repair idx_path file
@@ -238,6 +276,9 @@ let search_cmd =
     | _, Some n when n < 0 ->
         die Cmd.Exit.cli_error "xks: --max-nodes must be non-negative"
     | _ -> ());
+    (match top_k with
+    | Some k when k < 1 -> die Cmd.Exit.cli_error "xks: --top-k must be >= 1"
+    | Some _ | None -> ());
     if jobs < 1 then die Cmd.Exit.cli_error "xks: --jobs must be >= 1";
     if cache_mb < 0 then
       die Cmd.Exit.cli_error "xks: --cache-mb must be non-negative";
@@ -278,10 +319,11 @@ let search_cmd =
             if jobs > 1 then
               Xks_exec.Pool.with_pool ~size:jobs (fun pool ->
                   Xks_exec.Exec.search_batch_results ~pool ?cache ~algorithm
-                    ~cid_mode ?budget:budget_spec engine queries)
+                    ~rank ?k:top_k ~cid_mode ?budget:budget_spec engine
+                    queries)
             else
-              Xks_exec.Exec.search_batch_results ?cache ~algorithm ~cid_mode
-                ?budget:budget_spec engine queries
+              Xks_exec.Exec.search_batch_results ?cache ~algorithm ~rank
+                ?k:top_k ~cid_mode ?budget:budget_spec engine queries
           with Xks_exec.Pool.Task_error e -> raise e
         in
         Xks_trace.Trace.set_current None;
@@ -330,13 +372,18 @@ let search_cmd =
     Xks_trace.Trace.set_current trace;
     (* Terms containing ':' use the labeled-search extension. *)
     let labeled = List.exists (fun w -> String.contains w ':') ws in
+    if labeled && (rank <> `Heuristic || top_k <> None) then
+      die Cmd.Exit.cli_error
+        "xks: --rank/--top-k are not supported with labeled (:) terms";
     let result =
       if labeled then
         {
           Xks_core.Engine.hits = Xks_core.Labeled.search ~algorithm engine ws;
           degraded = None;
         }
-      else Xks_core.Engine.search_result ~algorithm ~cid_mode ?budget engine ws
+      else
+        Xks_core.Engine.search_result ~algorithm ~rank ?k:top_k ~cid_mode
+          ?budget engine ws
     in
     Xks_trace.Trace.set_current None;
     let hits = result.Xks_core.Engine.hits in
@@ -426,9 +473,10 @@ let search_cmd =
     (Cmd.info "search" ~exits
        ~doc:"Run an XML keyword query and print fragments.")
     Term.(
-      const run $ file_arg $ keywords $ algorithm $ xml_out $ exact_cid $ limit
-      $ snippets $ explain $ timeout_ms $ max_nodes $ index_path $ repair
-      $ stats_flag $ trace_json $ batch_file $ jobs $ cache_mb)
+      const run $ file_arg $ keywords $ algorithm $ rank $ top_k $ xml_out
+      $ exact_cid $ limit $ snippets $ explain $ timeout_ms $ max_nodes
+      $ index_path $ repair $ stats_flag $ trace_json $ batch_file $ jobs
+      $ cache_mb)
 
 (* --- stats --- *)
 

@@ -11,7 +11,7 @@ let run_query engine title query =
   Printf.printf "=== %s : \"%s\" ===\n" title (String.concat " " query);
   let show name algorithm =
     Printf.printf "--- %s ---\n" name;
-    let hits = Engine.search ~algorithm ~rank:false engine query in
+    let hits = Engine.search ~algorithm ~rank:`Doc engine query in
     if hits = [] then print_endline "(no results)"
     else
       List.iter

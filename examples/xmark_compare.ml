@@ -31,7 +31,7 @@ let () =
   (* Zoom into one query where the two mechanisms differ. *)
   let mnemonic, query = List.nth Queries.xmark.Queries.queries 4 in
   Printf.printf "detail for %s (%s):\n" mnemonic (String.concat " " query);
-  let v = Engine.search ~rank:true engine query in
+  let v = Engine.search ~rank:`Heuristic engine query in
   match v with
   | top :: _ ->
       Printf.printf "top ValidRTF fragment (%d nodes):\n%s"

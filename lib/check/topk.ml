@@ -1,0 +1,99 @@
+(* Differential oracle for the streaming top-k path: Engine.search with
+   ~rank:`Bm25 ~k must return exactly the k-prefix of the sorted
+   full-enumeration answer — same LCAs, same scores, same pruned
+   fragments — on every query, and the batch executor must serve the
+   identical answer cold, cache-warm, sequentially and from a pool.
+
+   The comparison is structural (=) on the whole hit list, floats
+   included: both sides prepare the query with the same `Rarest keyword
+   permutation and sum the same per-keyword BM25 contributions in the
+   same order (Rank.score_tf), so even the score bits must agree.  Any
+   drift — a fragment admitted by an unsound bound, a tie broken the
+   wrong way, a cache entry served across rank modes — shows up as a
+   violation. *)
+
+module Engine = Xks_core.Engine
+module Exec = Xks_exec.Exec
+module Pool = Xks_exec.Pool
+
+let prefix k l = List.filteri (fun i _ -> i < k) l
+
+let hit_desc (h : Engine.hit) =
+  Printf.sprintf "lca=%d score=%.6g" h.rtf.Xks_core.Rtf.lca h.score
+
+let hits_desc hits = String.concat "; " (List.map hit_desc hits)
+
+let violation ?(tag = "") rule fmt =
+  Printf.ksprintf
+    (fun detail ->
+      let detail = if tag = "" then detail else tag ^ ": " ^ detail in
+      { Invariant.rule; detail })
+    fmt
+
+let compare_hits ?tag ~rule ~what expected got =
+  if got = expected then []
+  else if List.length got <> List.length expected then
+    [
+      violation ?tag rule "%s returned %d hit(s), expected %d: [%s] vs [%s]"
+        what (List.length got)
+        (List.length expected)
+        (hits_desc got) (hits_desc expected);
+    ]
+  else
+    (* Same length: name the first position that disagrees. *)
+    let rec first i gs es =
+      match (gs, es) with
+      | g :: gs', e :: es' -> if g = e then first (i + 1) gs' es' else Some i
+      | [], [] | _ :: _, [] | [], _ :: _ -> None
+    in
+    let at =
+      match first 0 got expected with Some i -> i | None -> List.length got
+    in
+    [
+      violation ?tag rule "%s diverges at rank %d: [%s] vs [%s]" what at
+        (hits_desc got) (hits_desc expected);
+    ]
+
+let check_query ?tag ?(k = 10) engine ws =
+  let topk = (Engine.search_result ~rank:`Bm25 ~k engine ws).Engine.hits in
+  let full = (Engine.search_result ~rank:`Bm25 engine ws).Engine.hits in
+  compare_hits ?tag ~rule:"topk-equivalence"
+    ~what:(Printf.sprintf "streaming top-%d" k)
+    (prefix k full) topk
+
+let batch_jobs = 4
+
+let check_batch ?(k = 10) engine queries =
+  let expected =
+    List.map
+      (fun ws -> (Engine.search_result ~rank:`Bm25 ~k engine ws).Engine.hits)
+      queries
+  in
+  let audit what (results : Engine.hit list array) =
+    List.concat
+      (List.mapi
+         (fun i (ws, exp) ->
+           let tag = String.concat " " ws in
+           compare_hits ~tag ~rule:"topk-batch" ~what exp results.(i))
+         (List.combine queries expected))
+  in
+  let run ?pool what =
+    let cache = Exec.Cache.create ~max_bytes:(8 * 1024 * 1024) () in
+    let cold =
+      Exec.search_batch ?pool ~cache ~rank:`Bm25 ~k engine queries
+    in
+    let warm =
+      Exec.search_batch ?pool ~cache ~rank:`Bm25 ~k engine queries
+    in
+    audit (what ^ " cold") cold @ audit (what ^ " warm") warm
+  in
+  run "jobs=1"
+  @ Pool.with_pool ~size:batch_jobs ~oversubscribe:true (fun pool ->
+        run ~pool (Printf.sprintf "jobs=%d" batch_jobs))
+
+let check_workload ?k engine queries =
+  List.concat_map
+    (fun ws ->
+      check_query ~tag:(String.concat " " ws) ?k engine ws)
+    queries
+  @ check_batch ?k engine queries

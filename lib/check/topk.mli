@@ -1,0 +1,31 @@
+(** Differential oracle for ranked top-k retrieval.
+
+    The streaming scan behind [Engine.search ~rank:`Bm25 ~k]
+    ({!Xks_lca.Topk}) prunes work with a score bound; its soundness
+    claim is that the pruned answer is {e indistinguishable} from
+    scoring every fragment and keeping the best [k].  These checks test
+    exactly that, by structural equality on the full hit lists — LCA
+    ids, BM25 scores (bit-for-bit: both sides sum the same per-keyword
+    contributions in the same [`Rarest] order), pruned fragments and
+    SLCA tags. *)
+
+val check_query :
+  ?tag:string -> ?k:int -> Xks_core.Engine.t -> string list ->
+  Invariant.violation list
+(** Compare [search ~rank:`Bm25 ~k] against the [k]-prefix (default
+    [k = 10]) of the sorted full-enumeration answer for one query.
+    [tag] prefixes the violation detail (e.g. with the query text). *)
+
+val check_batch :
+  ?k:int -> Xks_core.Engine.t -> string list list ->
+  Invariant.violation list
+(** The batch executor must serve the sequential streaming answer under
+    every serving regime: cold and cache-warm, sequentially (jobs=1)
+    and from a 4-domain pool — in particular the cache key must keep
+    ranked entries apart from unranked ones. *)
+
+val check_workload :
+  ?k:int -> Xks_core.Engine.t -> string list list ->
+  Invariant.violation list
+(** {!check_query} on every query, then {!check_batch} over the whole
+    workload. *)

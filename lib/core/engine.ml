@@ -9,6 +9,7 @@ module Trace = Xks_trace.Trace
 (* xksrace: domain_safe doc and index are frozen before the engine is shared *)
 type t = { id : int; doc : Tree.t; index : Xks_index.Inverted.t }
 type algorithm = Validrtf | Maxmatch | Maxmatch_original
+type rank_mode = [ `Heuristic | `Bm25 | `Doc ]
 
 (* Engine identity for result caches ([Xks_exec.Cache]): every engine —
    even one adopting a reloaded index via [of_index] — gets a fresh id,
@@ -51,17 +52,42 @@ let run ?(algorithm = Validrtf) ?cid_mode ?budget e ws =
   | Maxmatch -> Maxmatch.run_revised_query ?budget q
   | Maxmatch_original -> Maxmatch.run_original_query ?budget q
 
-let hits_of_result ?(rank = true) (_ : t) result =
-  let slcas =
-    (* [indexed_lookup_eager] returns ascending ids, so membership is a
-       binary search instead of an O(hits × slcas) list scan. *)
-    lazy
-      (Trace.with_span "slca_tag" (fun () ->
-           let q = result.Pipeline.query in
-           if Query.has_results q then
-             Array.of_list (Xks_lca.Slca.indexed_lookup_eager q.doc q.postings)
-           else [||]))
+(* [indexed_lookup_eager] returns ascending ids, so membership is a
+   binary search instead of an O(hits × slcas) list scan. *)
+let slca_table (q : Query.t) =
+  lazy
+    (Trace.with_span "slca_tag" (fun () ->
+         if Query.has_results q then
+           Array.of_list (Xks_lca.Slca.indexed_lookup_eager q.doc q.postings)
+         else [||]))
+
+let check_k = function
+  | Some k when k < 1 -> invalid_arg "Engine.search: k must be >= 1"
+  | Some _ | None -> ()
+
+let truncate k l =
+  match k with None -> l | Some k -> List.filteri (fun i _ -> i < k) l
+
+(* Full-enumeration BM25: score every RTF from posting statistics and
+   sort (score desc, LCA id asc) — the order the streaming top-k driver
+   must agree with. *)
+let bm25_scored (result : Pipeline.result) =
+  let w = Rank.weights result.query in
+  let scored =
+    List.map2
+      (fun rtf fragment ->
+        { Ranking.fragment; rtf; score = Rank.score_rtf w result.query rtf })
+      result.rtfs result.fragments
   in
+  List.sort
+    (fun (a : Ranking.scored) b ->
+      let c = Float.compare b.score a.score in
+      if c <> 0 then c else Int.compare a.rtf.lca b.rtf.lca)
+    scored
+
+let hits_of_result ?(rank = (`Heuristic : rank_mode)) ?k (_ : t) result =
+  check_k k;
+  let slcas = slca_table result.Pipeline.query in
   let hit (scored : Ranking.scored) =
     {
       fragment = scored.fragment;
@@ -71,13 +97,51 @@ let hits_of_result ?(rank = true) (_ : t) result =
       degraded = None;
     }
   in
-  let scored = Trace.with_span "rank" (fun () -> Ranking.rank result) in
   let scored =
-    if rank then scored
-    else
-      List.sort (fun (a : Ranking.scored) b -> Int.compare a.rtf.lca b.rtf.lca) scored
+    Trace.with_span "rank" (fun () ->
+        match rank with
+        | `Heuristic -> Ranking.rank result
+        | `Bm25 -> bm25_scored result
+        | `Doc ->
+            List.sort
+              (fun (a : Ranking.scored) b -> Int.compare a.rtf.lca b.rtf.lca)
+              (Ranking.rank result))
   in
-  List.map hit scored
+  List.map hit (truncate k scored)
+
+(* The streaming top-k fast path (BM25 + k over ValidRTF): scan once
+   with score-bounded early termination, then construct and prune only
+   the k winning fragments instead of every RTF. *)
+let topk_hits ?cid_mode ?budget ~k e ws =
+  let q = Query.make ~order:`Rarest e.index ws in
+  (* Same up-front posting charge as [Pipeline.run_query]. *)
+  Budget.tick_opt budget
+    (Array.fold_left (fun acc p -> acc + Array.length p) 0 q.Query.postings);
+  let w = Rank.weights q in
+  let outcome =
+    Trace.with_span "topk" (fun () ->
+        Xks_lca.Topk.run ?budget ~k
+          ~score:(fun ~lca:_ ~tf -> Rank.score_tf w tf)
+          ~bound:(fun ~avail -> Rank.bound w ~avail)
+          q.Query.doc q.Query.postings)
+  in
+  let slcas = slca_table q in
+  Trace.with_span "prune" (fun () ->
+      List.map
+        (fun (c : Xks_lca.Topk.candidate) ->
+          Budget.tick_opt budget (1 + Array.length c.knodes);
+          let rtf = { Rtf.lca = c.lca; knodes = c.knodes } in
+          let fragment =
+            Prune.valid_contributor (Node_info.construct ?cid_mode q rtf)
+          in
+          {
+            fragment;
+            rtf;
+            score = c.score;
+            is_slca = Xks_util.Bsearch.mem (Lazy.force slcas) c.lca;
+            degraded = None;
+          })
+        outcome.Xks_lca.Topk.top)
 
 (* The graceful-degradation ladder: each cheaper algorithm retries with a
    renewed node allowance (same absolute deadline); the floor — original
@@ -90,10 +154,24 @@ let next_cheaper = function
 
 type search_result = { hits : hit list; degraded : Budget.reason option }
 
-let search_result ?(algorithm = Validrtf) ?cid_mode ?rank ?budget e ws =
+let search_result ?(algorithm = Validrtf) ?cid_mode
+    ?(rank = (`Heuristic : rank_mode)) ?k ?budget e ws =
+  check_k k;
   Trace.with_span "search" (fun () ->
       let attempt alg budget =
-        hits_of_result ?rank e (run ~algorithm:alg ?cid_mode ?budget e ws)
+        match (rank, k) with
+        | `Bm25, Some kk -> (
+            match alg with
+            | Validrtf -> topk_hits ?cid_mode ?budget ~k:kk e ws
+            | Maxmatch | Maxmatch_original ->
+                (* Down-ladder (or explicitly cheaper) top-k: full
+                   enumeration, BM25-scored, k-prefix — still
+                   score-tagged, just without the early-exit scan. *)
+                hits_of_result ~rank ?k e
+                  (run ~algorithm:alg ?cid_mode ?budget e ws))
+        | (`Bm25 | `Heuristic | `Doc), (Some _ | None) ->
+            hits_of_result ~rank ?k e
+              (run ~algorithm:alg ?cid_mode ?budget e ws)
       in
       match budget with
       | None -> { hits = attempt algorithm None; degraded = None }
@@ -122,8 +200,8 @@ let search_result ?(algorithm = Validrtf) ?cid_mode ?rank ?budget e ws =
                 degraded = Some reason;
               }))
 
-let search ?algorithm ?cid_mode ?rank ?budget e ws =
-  (search_result ?algorithm ?cid_mode ?rank ?budget e ws).hits
+let search ?algorithm ?cid_mode ?rank ?k ?budget e ws =
+  (search_result ?algorithm ?cid_mode ?rank ?k ?budget e ws).hits
 
 let degraded_reason hits =
   List.find_map (fun (h : hit) -> h.degraded) hits

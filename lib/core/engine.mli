@@ -22,6 +22,13 @@ type algorithm =
   | Maxmatch  (** revised MaxMatch — same RTFs, contributor pruning *)
   | Maxmatch_original  (** VLDB'08 MaxMatch — SLCA fragments only *)
 
+type rank_mode = [ `Heuristic | `Bm25 | `Doc ]
+(** Hit ordering: [`Heuristic] (default) is {!Ranking}'s structural
+    score; [`Bm25] is {!Rank}'s BM25 over posting statistics — with
+    [?k] on ValidRTF it enables the streaming top-k scan with
+    score-bounded early termination ({!Xks_lca.Topk}); [`Doc] returns
+    hits in document order of their LCA. *)
+
 type hit = {
   fragment : Fragment.t;
   rtf : Rtf.t;
@@ -67,8 +74,8 @@ type search_result = {
 }
 
 val search_result :
-  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:bool ->
-  ?budget:Xks_robust.Budget.t -> t -> string list -> search_result
+  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:rank_mode ->
+  ?k:int -> ?budget:Xks_robust.Budget.t -> t -> string list -> search_result
 (** Like {!search}, returning the hits together with the degradation
     status of the whole run.  Prefer this over {!degraded_reason} when a
     degraded query may legitimately return zero hits: a budgeted query
@@ -78,14 +85,24 @@ val search_result :
     one {!Xks_trace.Trace.degradation} event on the current trace. *)
 
 val search :
-  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:bool ->
-  ?budget:Xks_robust.Budget.t -> t -> string list -> hit list
+  ?algorithm:algorithm -> ?cid_mode:Xks_index.Cid.mode -> ?rank:rank_mode ->
+  ?k:int -> ?budget:Xks_robust.Budget.t -> t -> string list -> hit list
 (** [search e ws] runs the query.  Keywords are deduplicated and sorted
     rarest-first (shortest posting list first) before the pipeline runs
     — duplicates and keyword order never change the result set.  Hits
-    are ranked by {!Ranking} when [rank] is [true] (default); otherwise
-    in document order.  The empty hit list means some keyword does not
-    occur.
+    are ordered by [rank] (default [`Heuristic]).  The empty hit list
+    means some keyword does not occur.
+
+    [k] keeps only the best [k] hits.  Under [~rank:`Bm25] on ValidRTF
+    this switches to the streaming top-k scan: fragments are scored
+    during the ELCA traversal, only the [k] winners are constructed and
+    pruned, and the scan terminates early once the per-keyword
+    availability bound proves no unseen fragment can enter the top k
+    (DESIGN.md §5g) — the result is {e identical} to ranking the full
+    enumeration and keeping its k-prefix, ties broken by document
+    order.  Under other rank modes (or other algorithms) [k] simply
+    truncates the ranked hit list.
+    @raise Invalid_argument when [k < 1].
 
     With a [budget], the run is governed: when it exhausts mid-pipeline
     the engine falls down the ladder ValidRTF → revised MaxMatch →
@@ -109,11 +126,14 @@ val run :
     Unlike {!search} this does not degrade:
     @raise Xks_robust.Budget.Exhausted when [budget] runs out. *)
 
-val hits_of_result : ?rank:bool -> t -> Pipeline.result -> hit list
+val hits_of_result :
+  ?rank:rank_mode -> ?k:int -> t -> Pipeline.result -> hit list
 (** Turn a pipeline result into scored hits (what {!search} does after
     running the pipeline); exposed for callers that build queries
-    themselves, e.g. {!Labeled}.  Hits come back with
-    [degraded = None]. *)
+    themselves, e.g. {!Labeled}.  [`Bm25] here always scores the full
+    enumeration ([k] is a plain prefix); hits come back with
+    [degraded = None].
+    @raise Invalid_argument when [k < 1]. *)
 
 val render : ?xml:bool -> t -> hit -> string
 (** Pretty tree view of a hit (or XML when [xml] is [true]). *)

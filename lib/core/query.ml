@@ -6,7 +6,14 @@ type t = {
   keywords : string array;
   postings : int array array;
   approx_cids : Xks_index.Cid.t array;
+  dfs : int array;
+  avg_df : float;
 }
+
+(* Per-keyword document frequency is just the posting length — [make]
+   already fetched the lists to order keywords rarest-first, so the
+   ranking layer must never re-fetch them from the index. *)
+let dfs_of postings = Array.map Array.length postings
 
 let make ?(order = `Given) idx ws =
   let seen = Hashtbl.create 8 in
@@ -56,6 +63,8 @@ let make ?(order = `Given) idx ws =
     keywords;
     postings;
     approx_cids = Xks_index.Inverted.approx_cids idx;
+    dfs = dfs_of postings;
+    avg_df = (Xks_index.Inverted.stats idx).avg_posting_len;
   }
 
 let of_postings ?(approx_cids = [||]) doc ~keywords postings =
@@ -80,9 +89,19 @@ let of_postings ?(approx_cids = [||]) doc ~keywords postings =
   if Array.length approx_cids <> 0
      && Array.length approx_cids <> Xks_xml.Tree.size doc
   then invalid_arg "Query.of_postings: approx_cids size mismatch";
-  { doc; keywords = Array.of_list keywords; postings; approx_cids }
+  let dfs = dfs_of postings in
+  (* No index in sight: fall back to the mean of the query's own
+     posting lengths as the corpus pivot. *)
+  let avg_df =
+    if Array.length dfs = 0 then 0.
+    else
+      float_of_int (Array.fold_left ( + ) 0 dfs)
+      /. float_of_int (Array.length dfs)
+  in
+  { doc; keywords = Array.of_list keywords; postings; approx_cids; dfs; avg_df }
 
 let k q = Array.length q.keywords
+let df q i = q.dfs.(i)
 let has_results q = Array.for_all (fun s -> Array.length s > 0) q.postings
 
 let keyword_index q w =

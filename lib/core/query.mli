@@ -14,6 +14,15 @@ type t = private {
           {!Xks_index.Inverted.approx_cids} when the query was prepared
           from an index, [[||]] (unavailable) otherwise.  Lets the
           pruning stage skip re-tokenising the document per query. *)
+  dfs : int array;
+      (** per-keyword document frequency: [dfs.(i) = Array.length
+          postings.(i)].  {!make} already fetches every posting to order
+          keywords rarest-first, so ranking reads df here rather than
+          re-fetching from the index. *)
+  avg_df : float;
+      (** corpus length pivot for BM25 normalisation:
+          {!Xks_index.Inverted.stats}[.avg_posting_len] when prepared
+          from an index; the mean of [dfs] under {!of_postings}. *)
 }
 
 val make :
@@ -50,6 +59,9 @@ val of_postings :
 
 val k : t -> int
 (** Number of (distinct) keywords. *)
+
+val df : t -> int -> int
+(** [df q i] is keyword [i]'s document frequency, [q.dfs.(i)]. *)
 
 val has_results : t -> bool
 (** [false] iff some keyword never occurs in the document — then every

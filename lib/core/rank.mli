@@ -1,0 +1,53 @@
+(** BM25-style relevance scoring and the top-k early-termination bound.
+
+    Scores a fragment from statistics already in hand: per-keyword
+    document frequencies ({!Query.t}[.dfs], fetched once by
+    {!Query.make}), the corpus pivot ({!Query.t}[.avg_df]) and the
+    fragment's term-frequency vector (how many dispatched keyword nodes
+    match each query keyword).  Nodes play the role of BM25's documents:
+    [idf_i = ln (1 + (N − df_i + 0.5) / (df_i + 0.5))] with [N] the node
+    count, and each keyword contributes a saturating, monotone
+    nondecreasing function of its tf.  Monotonicity is load-bearing:
+    {!bound} caps the score of {e any} fragment whose tf vector is
+    componentwise at most [avail], which is what makes
+    {!Xks_lca.Topk.run}'s early exit safe (DESIGN.md §5g derives it).
+
+    The total order on hits is (score descending, LCA id ascending) —
+    equal-score fragments resolve to Dewey document order. *)
+
+type params = { k1 : float;  (** saturation, [>= 0] *) b : float  (** pivot strength, in [[0, 1]] *) }
+
+val default_params : params
+(** [{k1 = 1.2; b = 0.75}] — the textbook BM25 defaults. *)
+
+type weights
+(** Per-query scoring weights: one idf per keyword plus the saturation
+    coefficient.  Build once per query, score many fragments. *)
+
+val weights : ?params:params -> Query.t -> weights
+(** @raise Invalid_argument when [k1 < 0] or [b] is outside [[0, 1]]. *)
+
+val idf : nodes:int -> df:int -> float
+(** The raw idf term (exposed for tests): nonnegative, decreasing
+    in [df]. *)
+
+val contribution : weights -> int -> int -> float
+(** [contribution w i tf]: keyword [i]'s share for term frequency [tf].
+    [0] when [tf <= 0]; monotone nondecreasing in [tf]. *)
+
+val score_tf : weights -> int array -> float
+(** Sum of {!contribution} over a per-keyword tf vector. *)
+
+val tf_of_rtf : Query.t -> Rtf.t -> int array
+(** The RTF's tf vector, from the query's own postings (the index is
+    not consulted): [tf.(i)] is how many of [rtf.knodes] lie in
+    posting [i]. *)
+
+val score_rtf : weights -> Query.t -> Rtf.t -> float
+(** [score_tf w (tf_of_rtf q rtf)] — the scorer both the streaming
+    top-k driver and the full-enumeration oracle agree on. *)
+
+val bound : weights -> avail:int array -> float
+(** Upper bound on {!score_tf} over every tf vector componentwise
+    [<= avail]; [neg_infinity] when some component is [<= 0] (every
+    fragment needs at least one node per keyword). *)

@@ -4,16 +4,22 @@ type t = { node_count : int; df : string -> int }
 
 let build idx =
   {
-    node_count = Xks_xml.Tree.size (Xks_index.Inverted.doc idx);
-    df = Xks_index.Inverted.node_count idx;
+    node_count = (Xks_index.Inverted.stats idx).Xks_index.Inverted.nodes;
+    (* O(1) posting-length lookup — never fetches the list, never ticks
+       [Postings_scanned]. *)
+    df = Xks_index.Inverted.df idx;
   }
 
-let idf t w =
-  let df = t.df (Xks_xml.Tokenizer.normalize w) in
-  log (float_of_int (t.node_count + 1) /. float_of_int (df + 1)) +. 1.0
+let idf_of ~node_count df =
+  log (float_of_int (node_count + 1) /. float_of_int (df + 1)) +. 1.0
+
+let idf t w = idf_of ~node_count:t.node_count (t.df w)
 
 let fragment_score t (q : Query.t) (rtf : Rtf.t) frag =
   let k = Query.k q in
+  (* Query keywords score off the frequencies the query already holds
+     ([Query.dfs]); the index is not consulted again. *)
+  let idfs = Array.map (idf_of ~node_count:t.node_count) q.dfs in
   (* Term frequency: how many surviving keyword nodes match each query
      keyword. *)
   let tf = Array.make k 0 in
@@ -27,8 +33,7 @@ let fragment_score t (q : Query.t) (rtf : Rtf.t) frag =
   let raw = ref 0.0 in
   Array.iteri
     (fun i count ->
-      if count > 0 then
-        raw := !raw +. (float_of_int count *. idf t q.keywords.(i)))
+      if count > 0 then raw := !raw +. (float_of_int count *. idfs.(i)))
     tf;
   !raw /. (1.0 +. log (float_of_int (max 1 (Fragment.size frag))))
 

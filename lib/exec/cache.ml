@@ -4,7 +4,9 @@
    engine instance (by its process-unique id — a rebuilt or reloaded
    index makes a new engine, so stale entries can never be served), the
    normalised keyword *set* (sorted, deduplicated — Engine.search is
-   order- and duplicate-invariant), the algorithm, and a budget class
+   order- and duplicate-invariant), the algorithm, the ranking
+   parameters (rank mode and k — a ranked top-k query must never be
+   served a stale unranked entry and vice versa), and a budget class
    (two queries governed by the same limits share an entry; an
    unbudgeted query never shares with a budgeted one).
 
@@ -37,6 +39,8 @@ type key = {
   engine_id : int;
   words : string list;  (* normalised, sorted, distinct *)
   algorithm : string;
+  rank : string;
+  k : int;  (* 0 = unlimited (no top-k truncation) *)
   budget_class : string;
 }
 
@@ -45,9 +49,14 @@ let algorithm_name = function
   | Engine.Maxmatch -> "maxmatch"
   | Engine.Maxmatch_original -> "maxmatch_original"
 
+let rank_name = function
+  | `Heuristic -> "heuristic"
+  | `Bm25 -> "bm25"
+  | `Doc -> "doc"
+
 let unbudgeted = "unbudgeted"
 
-let key ~engine ~algorithm ~budget_class ws =
+let key ~engine ~algorithm ?(rank = `Heuristic) ?k ~budget_class ws =
   let words =
     List.concat_map
       (Xks_xml.Tokenizer.words ~keep_stopwords:true)
@@ -62,6 +71,8 @@ let key ~engine ~algorithm ~budget_class ws =
           engine_id = Engine.id engine;
           words;
           algorithm = algorithm_name algorithm;
+          rank = rank_name rank;
+          k = (match k with None -> 0 | Some k -> k);
           budget_class;
         }
 

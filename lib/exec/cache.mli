@@ -5,7 +5,8 @@
     makes a new engine, so entries cached for the old one can never be
     served), the normalised keyword set (sorted and deduplicated, since
     {!Xks_core.Engine.search} is order- and duplicate-invariant), the
-    algorithm, and a budget class string.  Values are whole
+    algorithm, the ranking parameters (rank mode and top-k limit), and
+    a budget class string.  Values are whole
     {!Xks_core.Engine.search_result}s, shared structurally — they are
     immutable.
 
@@ -25,6 +26,8 @@ type key = private {
   engine_id : int;
   words : string list;  (** normalised, sorted, distinct *)
   algorithm : string;
+  rank : string;  (** rank-mode name: "heuristic", "bm25" or "doc" *)
+  k : int;  (** top-k limit; [0] = unlimited *)
   budget_class : string;
 }
 
@@ -33,11 +36,15 @@ val unbudgeted : string
 
 val key :
   engine:Xks_core.Engine.t -> algorithm:Xks_core.Engine.algorithm ->
+  ?rank:Xks_core.Engine.rank_mode -> ?k:int ->
   budget_class:string -> string list -> key option
 (** Normalise a raw query into its cache key: tokenise every input
     string ({!Xks_xml.Tokenizer.words}, stop words kept — mirroring
-    {!Xks_core.Query.make}), deduplicate and sort.  [None] when no
-    keyword survives (such a query raises in the engine and must not be
+    {!Xks_core.Query.make}), deduplicate and sort.  [rank] (default
+    [`Heuristic], the engine's default) and [k] (default unlimited)
+    must match what the engine will be asked to do: keys of differently
+    ranked or truncated runs never collide.  [None] when no keyword
+    survives (such a query raises in the engine and must not be
     cached). *)
 
 type t

@@ -29,7 +29,7 @@ let budget_class_of = function
       part "t" deadline_ms ^ ":" ^ part "n" max_nodes
 
 let search_batch_results ?pool ?cache ?(algorithm = Engine.Validrtf) ?cid_mode
-    ?rank ?budget engine queries =
+    ?rank ?k ?budget engine queries =
   let budget_class = budget_class_of budget in
   let fresh_budget () =
     (* Created on the domain that runs the query, at the moment it
@@ -43,13 +43,13 @@ let search_batch_results ?pool ?cache ?(algorithm = Engine.Validrtf) ?cid_mode
   in
   let run_one ws () =
     let compute () =
-      Engine.search_result ~algorithm ?cid_mode ?rank ?budget:(fresh_budget ())
-        engine ws
+      Engine.search_result ~algorithm ?cid_mode ?rank ?k
+        ?budget:(fresh_budget ()) engine ws
     in
     match cache with
     | None -> compute ()
     | Some c -> (
-        match Cache.key ~engine ~algorithm ~budget_class ws with
+        match Cache.key ~engine ~algorithm ?rank ?k ~budget_class ws with
         | None -> compute () (* empty query: let the engine raise *)
         | Some k -> (
             match Cache.find c k with
@@ -64,9 +64,9 @@ let search_batch_results ?pool ?cache ?(algorithm = Engine.Validrtf) ?cid_mode
   | Some p -> Pool.run_all p thunks
   | None -> Array.of_list (List.map (fun f -> f ()) thunks)
 
-let search_batch ?pool ?cache ?algorithm ?cid_mode ?rank ?budget engine queries
-    =
+let search_batch ?pool ?cache ?algorithm ?cid_mode ?rank ?k ?budget engine
+    queries =
   Array.map
     (fun (r : Engine.search_result) -> r.hits)
-    (search_batch_results ?pool ?cache ?algorithm ?cid_mode ?rank ?budget
+    (search_batch_results ?pool ?cache ?algorithm ?cid_mode ?rank ?k ?budget
        engine queries)

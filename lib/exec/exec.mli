@@ -26,18 +26,22 @@ val budget_class_of : budget_spec option -> string
 
 val search_batch_results :
   ?pool:Pool.t -> ?cache:Cache.t -> ?algorithm:Xks_core.Engine.algorithm ->
-  ?cid_mode:Xks_index.Cid.mode -> ?rank:bool -> ?budget:budget_spec ->
+  ?cid_mode:Xks_index.Cid.mode -> ?rank:Xks_core.Engine.rank_mode ->
+  ?k:int -> ?budget:budget_spec ->
   Xks_core.Engine.t -> string list list -> Xks_core.Engine.search_result array
 (** Run a batch of queries; result [i] answers query [i] (input order,
     regardless of completion order).  With a [pool] the queries fan out
     over its workers; without one they run sequentially on the calling
     domain.  With a [cache], each query is first looked up (and its
-    computed result inserted on a miss).  A query that raises — e.g. an
+    computed result inserted on a miss); [rank] and [k] are part of the
+    cache key, so ranked and unranked runs of the same keywords never
+    share entries.  A query that raises — e.g. an
     empty keyword list — aborts the batch with {!Pool.Task_error} (the
     raw exception when no pool is used) after all tasks finish. *)
 
 val search_batch :
   ?pool:Pool.t -> ?cache:Cache.t -> ?algorithm:Xks_core.Engine.algorithm ->
-  ?cid_mode:Xks_index.Cid.mode -> ?rank:bool -> ?budget:budget_spec ->
+  ?cid_mode:Xks_index.Cid.mode -> ?rank:Xks_core.Engine.rank_mode ->
+  ?k:int -> ?budget:budget_spec ->
   Xks_core.Engine.t -> string list list -> Xks_core.Engine.hit list array
 (** {!search_batch_results} projected to the hit lists. *)

@@ -11,6 +11,14 @@ type entry = { ids : Xks_util.Int_vec.t; mutable occurrences : int }
    shared read-only across domains (the [Xks_exec] pool relies on this —
    no lock guards the index on the query path).  [entry.occurrences] is
    only written while [build] runs. *)
+type stats = {
+  nodes : int;
+  vocabulary : int;
+  total_postings : int;
+  avg_posting_len : float;
+  max_posting_len : int;
+}
+
 type t = {
   doc : Tree.t;  (* xksrace: domain_safe label table frozen once the tree is built *)
   (* xksrace: domain_safe populated by build/of_rows, read-only afterwards *)
@@ -18,6 +26,7 @@ type t = {
   (* xksrace: domain_safe populated by build/of_rows, read-only afterwards *)
   frozen : (string, int array) Hashtbl.t;
   approx_cids : Cid.t array;  (* per node id; filled at build, never written *)
+  stats : stats;  (* corpus-level aggregates; computed at freeze time *)
 }
 
 let empty_posting = [||]
@@ -42,6 +51,27 @@ let freeze entries =
     (fun w e -> Hashtbl.add f w (Xks_util.Int_vec.to_array e.ids))
     entries;
   f
+
+(* Corpus aggregates over the frozen postings — paid once per build so
+   idf and length-pivot lookups cost nothing per query. *)
+let compute_stats doc frozen =
+  let vocabulary = Hashtbl.length frozen in
+  let total = ref 0 and longest = ref 0 in
+  Hashtbl.iter
+    (fun _ p ->
+      let len = Array.length p in
+      total := !total + len;
+      if len > !longest then longest := len)
+    frozen;
+  {
+    nodes = Tree.size doc;
+    vocabulary;
+    total_postings = !total;
+    avg_posting_len =
+      (if vocabulary = 0 then 0.
+       else float_of_int !total /. float_of_int vocabulary);
+    max_posting_len = !longest;
+  }
 
 let build doc =
   let entries = Hashtbl.create 4096 in
@@ -72,10 +102,25 @@ let build doc =
       n.attrs
   in
   Tree.iter index_node doc;
-  { doc; entries; frozen = freeze entries; approx_cids = compute_approx_cids doc }
+  let frozen = freeze entries in
+  {
+    doc;
+    entries;
+    frozen;
+    approx_cids = compute_approx_cids doc;
+    stats = compute_stats doc frozen;
+  }
 
 let doc t = t.doc
 let approx_cids t = t.approx_cids
+let stats t = t.stats
+
+(* O(1) document frequency: posting length without fetching the list,
+   so the ranking layer's idf lookups never tick [Postings_scanned]. *)
+let df t w =
+  match Hashtbl.find_opt t.frozen (Tokenizer.normalize w) with
+  | Some a -> Array.length a
+  | None -> 0
 
 let posting t w =
   match Hashtbl.find_opt t.frozen (Tokenizer.normalize w) with
@@ -129,7 +174,13 @@ let of_rows doc rows =
       Hashtbl.replace entries w { ids; occurrences };
       Hashtbl.replace frozen w posting)
     rows;
-  { doc; entries; frozen; approx_cids = compute_approx_cids doc }
+  {
+    doc;
+    entries;
+    frozen;
+    approx_cids = compute_approx_cids doc;
+    stats = compute_stats doc frozen;
+  }
 
 let top_words t n =
   let all =

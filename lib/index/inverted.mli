@@ -43,7 +43,27 @@ val postings : t -> string list -> int array array
 (** Posting lists for a whole query, in query order. *)
 
 val node_count : t -> string -> int
-(** Number of keyword nodes for a word: [Array.length (posting idx w)]. *)
+(** Number of keyword nodes for a word: [Array.length (posting idx w)].
+    Ticks the [Postings_scanned] trace counter (it fetches the list);
+    prefer {!df} on the ranking path. *)
+
+val df : t -> string -> int
+(** O(1) document frequency: the posting length of [w] (normalised
+    first), without fetching the list and without trace ticks — the
+    idf input for {!Xks_core.Rank}.  [0] when absent or a stop word. *)
+
+(** Corpus-level aggregates, computed once when the index is frozen
+    ({!build} / {!of_rows}) — the per-query-free inputs to BM25-style
+    scoring. *)
+type stats = {
+  nodes : int;  (** document size: number of indexed tree nodes *)
+  vocabulary : int;  (** distinct indexed words *)
+  total_postings : int;  (** sum of all posting-list lengths *)
+  avg_posting_len : float;  (** [total_postings / vocabulary]; 0 if empty *)
+  max_posting_len : int;  (** longest posting list *)
+}
+
+val stats : t -> stats
 
 val occurrence_count : t -> string -> int
 (** Total number of occurrences of the word in the document (counting

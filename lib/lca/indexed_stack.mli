@@ -17,6 +17,17 @@
 
     Results are returned in document order. *)
 
+val is_elca :
+  Xks_xml.Tree.t ->
+  int array array -> Xks_xml.Tree.node -> (int * int) list -> bool
+(** [is_elca doc postings u child_ranges] is the pop-time witness check:
+    does [u]'s subtree hold, for every keyword, an occurrence outside
+    every full container strictly below [u]?  [child_ranges] are the
+    preorder ranges of [u]'s already-determined candidate children
+    (most recent first) — they only accelerate the probe scan; passing
+    [[]] is correct but slower.  Shared with {!Topk}, whose streaming
+    driver must agree with {!elca} exactly. *)
+
 val elca :
   ?budget:Xks_robust.Budget.t -> Xks_xml.Tree.t -> int array array -> int list
 (** Ids of all ELCA nodes for the query whose posting lists are given,

@@ -1,0 +1,253 @@
+(* Top-k ELCA retrieval with score-bounded early termination.
+
+   The scan is [Indexed_stack.elca] verbatim — same driver list, same
+   stack discipline, same [is_elca] witness check — with two additions:
+
+   1. Each stack entry also tracks [passed]: the preorder ranges of the
+      *maximal* already-emitted ELCAs strictly inside it.  When an entry
+      pops and passes the witness check, its per-keyword term frequency
+      under the RTF dispatch semantics (every keyword occurrence goes to
+      the deepest emitted LCA containing it) is
+
+        tf_i = |posting_i ∩ range(u)| − Σ over passed |posting_i ∩ r|
+
+      which is exact because any ELCA nested in [u] is pushed and popped
+      while [u] is still on the stack, so [u]'s emitted-descendant set
+      is final at its own pop.  A passed child contributes its own range
+      to its parent's [passed]; a failed child contributes the ranges it
+      had collected (they stay maximal and disjoint).
+
+   2. A consumed-occurrence upper bound drives early exit.  Let
+      [consumed_i] be the total tf_i over emitted fragments; the knodes
+      of distinct RTFs partition keyword occurrences, so any fragment
+      emitted later satisfies tf_i <= avail_i = df_i − consumed_i, and
+      [bound ~avail] (monotone in each tf) caps its score.  Once the
+      heap holds k fragments and the bound is *strictly* below the
+      heap's minimum score, no unseen fragment can enter the top k —
+      strictness matters because score ties break toward the smaller
+      LCA id, and ancestors (smaller preorder ids) pop late.  The
+      check runs at two sites:
+
+      - after each driver occurrence, where success skips the rest of
+        the driver scan and the whole drain (all future fragments are
+        covered by the bound), and
+
+      - after each drain pop, where success skips the remaining spine.
+        This is where the exit usually fires in practice: popping the
+        last container of a keyword drives its avail to zero, and the
+        bound collapses to -inf — every occurrence of that keyword is
+        dispatched, so no surviving ancestor (in particular the root,
+        whose witness scan over its accumulated child ranges is the
+        single most expensive pop) can still be an ELCA.
+
+      [Topk_pruned_postings] records the total avail at exit time: the
+      keyword occurrences the exit freed us from ever dispatching. *)
+
+module Tree = Xks_xml.Tree
+module Dewey = Xks_xml.Dewey
+module Bsearch = Xks_util.Bsearch
+module Topheap = Xks_util.Topheap
+module Trace = Xks_trace.Trace
+
+type candidate = {
+  lca : int;
+  score : float;
+  tf : int array;
+  knodes : int array;
+}
+
+type outcome = { top : candidate list; early_exit : bool; scanned : int }
+
+type entry = {
+  node : Tree.node;
+  mutable child_ranges : (int * int) list;
+  mutable passed : (int * int) list;
+      (* maximal emitted-ELCA ranges inside [node], disjoint *)
+}
+
+let run ?budget ~k ~score ~bound doc postings =
+  if k < 1 then invalid_arg "Topk.run: k must be >= 1";
+  let nk = Array.length postings in
+  if nk = 0 || Array.exists (fun s -> Array.length s = 0) postings then
+    { top = []; early_exit = false; scanned = 0 }
+  else begin
+    let s1 = postings.(Probe.smallest_list_index postings) in
+    let n1 = Array.length s1 in
+    let heap = Topheap.create ~capacity:k in
+    let consumed = Array.make nk 0 in
+    let stack = ref [] in
+    (* Emitted-ELCA ranges not (yet) inside any open stack entry: when
+       the stack empties, the popped entry's accounted ranges survive
+       here until an entry containing them is pushed — possibly much
+       later and much shallower (e.g. the document root, whose tf must
+       still exclude every occurrence dispatched to earlier subtrees).
+       Orphans are always disjoint from every open entry's range, so
+       only a newly pushed entry can absorb them. *)
+    let orphans = ref [] in
+    (* [orphans] and every [passed] list stay sorted descending by
+       range start: ranges are handed up / orphaned in document order,
+       so prepending preserves the order, and the ranges a new entry
+       [x] contains are exactly the prefix with [lo >= x.id] (closed
+       ranges end before the scan position inside [x], so they cannot
+       start after [x.subtree_end]).  That makes claiming them a
+       prefix take — amortised O(1) per push, where a predicate
+       partition over the whole list is quadratic across the scan. *)
+    let split_inside cutoff ranges =
+      let rec go acc = function
+        | ((lo, _) as r) :: rest when lo >= cutoff -> go (r :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      go [] ranges
+    in
+    let ancestor_or_self (a : Tree.node) (b : Tree.node) =
+      Dewey.is_ancestor_or_self a.dewey b.dewey
+    in
+    let count_dispatched posting (u : Tree.node) passed =
+      List.fold_left
+        (fun acc (lo, hi) -> acc - Bsearch.count_in_range posting ~lo ~hi)
+        (Bsearch.count_in_range posting ~lo:u.id ~hi:u.subtree_end)
+        passed
+    in
+    let emit (u : Tree.node) passed =
+      let tf = Array.map (fun p -> count_dispatched p u passed) postings in
+      Array.iteri (fun i c -> consumed.(i) <- consumed.(i) + c) tf;
+      let s = score ~lca:u.id ~tf in
+      ignore (Topheap.insert heap ~score:s ~id:u.id (tf, passed) : bool)
+    in
+    (* Pop [e]; emit it if it passes the check; hand its range (and the
+       emitted ranges it accounts for) to the entry below. *)
+    let pop_and_check () =
+      match !stack with
+      | [] -> assert false
+      | e :: rest ->
+          Trace.incr Trace.Elca_popped;
+          stack := rest;
+          let range = (e.node.id, e.node.subtree_end) in
+          let passed_up =
+            if Indexed_stack.is_elca doc postings e.node e.child_ranges
+            then begin
+              emit e.node e.passed;
+              [ range ]
+            end
+            else e.passed
+          in
+          (match rest with
+          | parent :: _ ->
+              parent.child_ranges <- range :: parent.child_ranges;
+              parent.passed <- passed_up @ parent.passed
+          | [] -> orphans := passed_up @ !orphans);
+          range
+    in
+    let process v =
+      Trace.incr Trace.Nodes_visited;
+      Xks_robust.Budget.tick_opt budget 1;
+      let x =
+        match Probe.fc doc postings (Tree.node doc v) with
+        | Some n -> n
+        | None -> assert false
+      in
+      let pending = ref [] in
+      let rec unwind () =
+        match !stack with
+        | e :: _ when not (ancestor_or_self e.node x) ->
+            let range = pop_and_check () in
+            if !stack = [] && ancestor_or_self x e.node then
+              pending := range :: !pending;
+            unwind ()
+        | _ -> ()
+      in
+      unwind ();
+      match !stack with
+      | e :: _ when e.node.id = x.id -> ()
+      | _ ->
+          Trace.incr Trace.Elca_pushed;
+          (* Absorb the orphaned emitted ranges that [x] contains: [x]
+             is the first open entry to contain them (any lower entry
+             pushed since they were orphaned would have absorbed them
+             already, and entries below [x] are its ancestors). *)
+          let inside, outside = split_inside x.id !orphans in
+          orphans := outside;
+          (* Steal from the nearest open ancestor the emitted ranges
+             [x] contains: they popped before [x] opened, so they were
+             handed to what was then the stack top — a node above [x].
+             Applied at every push, this keeps each range at the
+             deepest open entry containing it, which is exactly what
+             the tf subtraction in [emit] needs.  (At most one source
+             is nonempty: an open ancestor would itself have absorbed
+             any orphan inside [x].) *)
+          let inside =
+            match !stack with
+            | parent :: _ ->
+                let mine, theirs = split_inside x.id parent.passed in
+                parent.passed <- theirs;
+                mine @ inside
+            | [] -> inside
+          in
+          stack := { node = x; child_ranges = !pending; passed = inside } :: !stack
+    in
+    let early = ref false in
+    (* Work remains (driver tail or un-popped stack entries): see
+       whether the bound already rules every future fragment out. *)
+    let try_exit () =
+      if Topheap.is_full heap then begin
+        let avail =
+          Array.mapi (fun j p -> Array.length p - consumed.(j)) postings
+        in
+        if bound ~avail < Topheap.min_score heap then begin
+          early := true;
+          Trace.incr Trace.Topk_early_exit;
+          Trace.add Trace.Topk_pruned_postings
+            (Array.fold_left ( + ) 0 avail)
+        end
+      end
+    in
+    let i = ref 0 in
+    while (not !early) && !i < n1 do
+      process s1.(!i);
+      incr i;
+      if !i < n1 || !stack <> [] then try_exit ()
+    done;
+    while (not !early) && !stack <> [] do
+      ignore (pop_and_check () : int * int);
+      if !stack <> [] then try_exit ()
+    done;
+    stack := [];
+    (* Materialise keyword nodes only for the k winners: posting entries
+       in the winner's range minus its emitted-descendant ranges, merged
+       and deduplicated.  The passed ranges are disjoint, so sorting
+       them once lets each posting be filtered in a single merge sweep
+       (postings are ascending). *)
+    let knodes_of lca_id passed =
+      let u = Tree.node doc lca_id in
+      let passed =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) passed
+      in
+      Xks_util.Scratch.with_ints (fun out ->
+          Array.iter
+            (fun posting ->
+              let lo = Bsearch.lower_bound posting u.id in
+              let hi = Bsearch.upper_bound posting u.subtree_end in
+              let remaining = ref passed in
+              for j = lo to hi - 1 do
+                let id = posting.(j) in
+                let rec advance = function
+                  | (_, b) :: rest when b < id -> advance rest
+                  | l -> l
+                in
+                remaining := advance !remaining;
+                match !remaining with
+                | (a, _) :: _ when id >= a -> ()
+                | (_, _) :: _ | [] -> Xks_util.Int_vec.push out id
+              done)
+            postings;
+          Xks_util.Int_vec.sort_uniq out;
+          Xks_util.Int_vec.to_array out)
+    in
+    let top =
+      List.map
+        (fun (s, id, (tf, passed)) ->
+          { lca = id; score = s; tf; knodes = knodes_of id passed })
+        (Topheap.to_sorted_list heap)
+    in
+    { top; early_exit = !early; scanned = !i }
+  end

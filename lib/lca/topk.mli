@@ -1,0 +1,53 @@
+(** Top-k ELCA retrieval with score-bounded early termination.
+
+    The same scan as {!Indexed_stack.elca} — identical driver list,
+    stack discipline and witness check — except that every popped
+    fragment is scored on the fly (from posting-range counts, under the
+    RTF dispatch semantics: each keyword occurrence belongs to the
+    deepest emitted LCA containing it) and only the best k are kept in
+    a {!Xks_util.Topheap}.  The scan stops early once the heap is full
+    and an upper bound over the still-unconsumed keyword occurrences is
+    strictly below the heap's minimum score: the knodes of distinct
+    RTFs partition keyword occurrences, so [avail_i = df_i − Σ emitted
+    tf_i] caps any future fragment's tf, and [bound] (monotone in each
+    component) caps its score.  The surviving candidates are exactly
+    the k best fragments of the full enumeration under
+    (score desc, LCA id asc) — {!Xks_check} pins the equivalence.
+
+    The scoring callbacks live with the caller ({!Xks_core.Rank}); this
+    module only promises to call them with exact RTF term frequencies
+    and a true per-keyword availability vector. *)
+
+type candidate = {
+  lca : int;  (** ELCA node id *)
+  score : float;
+  tf : int array;  (** per-keyword dispatched-occurrence counts *)
+  knodes : int array;
+      (** sorted, distinct keyword-node ids dispatched to this LCA —
+          identical to the full pipeline's {!Xks_core.Rtf.t}[.knodes] *)
+}
+
+type outcome = {
+  top : candidate list;  (** best-first: score desc, ties by LCA id asc *)
+  early_exit : bool;  (** the scan stopped with work remaining *)
+  scanned : int;  (** driver-list occurrences processed *)
+}
+
+val run :
+  ?budget:Xks_robust.Budget.t ->
+  k:int ->
+  score:(lca:int -> tf:int array -> float) ->
+  bound:(avail:int array -> float) ->
+  Xks_xml.Tree.t ->
+  int array array ->
+  outcome
+(** [run ~k ~score ~bound doc postings] keeps the k best fragments.
+    [score] must be monotone nondecreasing in every [tf] component and
+    [bound ~avail] must be an upper bound on [score] over all tf vectors
+    with [tf_i <= avail_i] — {!Xks_core.Rank} provides both; early
+    termination is unsound otherwise.  [budget] ticks once per driver
+    occurrence, as {!Indexed_stack.elca} does.  Ticks the
+    [topk.early_exit] / [topk.pruned_postings] trace counters when the
+    bound fires.
+    @raise Invalid_argument when [k < 1].
+    @raise Xks_robust.Budget.Exhausted when the budget runs out. *)

@@ -26,6 +26,8 @@ type counter =
   | Requests_rejected
   | Requests_timed_out
   | Requests_aborted
+  | Topk_pruned_postings
+  | Topk_early_exit
 
 let counter_index = function
   | Postings_scanned -> 0
@@ -44,8 +46,10 @@ let counter_index = function
   | Requests_rejected -> 13
   | Requests_timed_out -> 14
   | Requests_aborted -> 15
+  | Topk_pruned_postings -> 16
+  | Topk_early_exit -> 17
 
-let n_counters = 16
+let n_counters = 18
 
 let all_counters =
   [
@@ -53,7 +57,7 @@ let all_counters =
     Frag_nodes_kept; Frag_nodes_pruned; Budget_ticks; Degradations;
     Cache_hits; Cache_misses; Cache_evictions; Requests_accepted;
     Requests_served; Requests_rejected; Requests_timed_out;
-    Requests_aborted;
+    Requests_aborted; Topk_pruned_postings; Topk_early_exit;
   ]
 
 let counter_name = function
@@ -73,6 +77,8 @@ let counter_name = function
   | Requests_rejected -> "requests_rejected"
   | Requests_timed_out -> "requests_timed_out"
   | Requests_aborted -> "requests_aborted"
+  | Topk_pruned_postings -> "topk.pruned_postings"
+  | Topk_early_exit -> "topk.early_exit"
 
 type span = { label : string; depth : int; seq : int; ms : float }
 

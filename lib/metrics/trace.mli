@@ -42,6 +42,10 @@ type counter =
   | Requests_rejected  (** connections shed with 503 at admission *)
   | Requests_timed_out  (** connections closed by a read/write timeout *)
   | Requests_aborted  (** in-flight connections cut at the drain deadline *)
+  | Topk_pruned_postings
+      (** driver-posting entries skipped by top-k early termination *)
+  | Topk_early_exit
+      (** top-k scans that stopped before exhausting the driver list *)
 
 val all_counters : counter list
 val counter_name : counter -> string

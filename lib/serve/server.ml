@@ -288,6 +288,17 @@ let algorithm_name = function
   | Engine.Maxmatch -> "maxmatch"
   | Engine.Maxmatch_original -> "maxmatch-original"
 
+let rank_of_string = function
+  | "heuristic" -> Some `Heuristic
+  | "bm25" -> Some `Bm25
+  | "doc" -> Some `Doc
+  | _ -> None
+
+let rank_name = function
+  | `Heuristic -> "heuristic"
+  | `Bm25 -> "bm25"
+  | `Doc -> "doc"
+
 let budget_spec t =
   if t.cfg.deadline_ms = None && t.cfg.max_nodes = None then None
   else
@@ -327,13 +338,32 @@ let search_response t trace_id req =
               | Some n when n >= 0 -> n
               | Some _ | None -> -1)
         in
+        let rank =
+          match List.assoc_opt "rank" req.Http.params with
+          | None -> Some `Heuristic
+          | Some r -> rank_of_string r
+        in
+        (* k must be a positive integer; anything else is a client
+           error, not a silent default. *)
+        let k =
+          match List.assoc_opt "k" req.Http.params with
+          | None -> Some None
+          | Some v -> (
+              match int_of_string_opt v with
+              | Some n when n >= 1 -> Some (Some n)
+              | Some _ | None -> None)
+        in
         if limit < 0 then (400, err_obj trace_id "malformed limit")
         else
+          match (rank, k) with
+          | None, (Some _ | None) -> (400, err_obj trace_id "unknown rank")
+          | Some _, None -> (400, err_obj trace_id "malformed k")
+          | Some rank, Some k -> (
           let limit = if limit > t.cfg.max_hits then t.cfg.max_hits else limit in
           let budget = budget_spec t in
           match
-            Exec.search_batch_results ?cache:t.cache ~algorithm ?budget
-              t.engine [ keywords ]
+            Exec.search_batch_results ?cache:t.cache ~algorithm ~rank ?k
+              ?budget t.engine [ keywords ]
           with
           | results ->
               let r = results.(0) in
@@ -350,6 +380,9 @@ let search_response t trace_id req =
                       Json.List (List.map (fun w -> Json.String w) keywords)
                     );
                     ("algorithm", Json.String (algorithm_name algorithm));
+                    ("rank", Json.String (rank_name rank));
+                    ( "k",
+                      match k with None -> Json.Null | Some k -> Json.Int k );
                     ( "budget_class",
                       Json.String (Exec.budget_class_of budget) );
                     ("degraded", degraded);
@@ -358,7 +391,7 @@ let search_response t trace_id req =
                       Json.List (List.map hit_json (take limit r.Engine.hits))
                     );
                   ] )
-          | exception Invalid_argument msg -> (400, err_obj trace_id msg))
+          | exception Invalid_argument msg -> (400, err_obj trace_id msg)))
 
 let stats_json t =
   let s = stats t in

@@ -1,0 +1,85 @@
+(* Fixed-capacity top-k selection as a binary min-heap over
+   (score, id) with a total, deterministic order: entry A is kept over
+   entry B when A.score > B.score, or the scores tie and A.id < B.id.
+   The root is therefore the *worst* kept entry — the admission
+   threshold — and [insert] on a full heap replaces the root only when
+   the candidate strictly beats it under that order.  Equal (score, id)
+   pairs never arise from the search pipeline (ids are distinct LCA
+   node ids), but the order handles them anyway: the incumbent wins. *)
+
+type 'a node = { score : float; id : int; payload : 'a }
+
+type 'a t = {
+  capacity : int;
+  mutable filled : int;
+  (* Physical storage is allocated lazily on the first insert so the
+     empty heap needs no dummy payload. *)
+  mutable heap : 'a node array;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Topheap.create: capacity must be >= 1";
+  { capacity; filled = 0; heap = [||] }
+
+let capacity t = t.capacity
+let length t = t.filled
+let is_full t = t.filled = t.capacity
+
+(* [worse a b]: a loses to b — a would be evicted before b. *)
+let worse a b = a.score < b.score || (a.score = b.score && a.id > b.id)
+
+let min t = if t.filled = 0 then None else Some t.heap.(0)
+let min_score t = if t.filled = 0 then neg_infinity else t.heap.(0).score
+
+let admits t ~score ~id =
+  t.filled < t.capacity
+  ||
+  let r = t.heap.(0) in
+  score > r.score || (score = r.score && id < r.id)
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if worse h.(i) h.(p) then begin
+      let tmp = h.(i) in
+      h.(i) <- h.(p);
+      h.(p) <- tmp;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h size i =
+  let l = (2 * i) + 1 in
+  if l < size then begin
+    let r = l + 1 in
+    let worst = if worse h.(l) h.(i) then l else i in
+    let worst = if r < size && worse h.(r) h.(worst) then r else worst in
+    if worst <> i then begin
+      let tmp = h.(i) in
+      h.(i) <- h.(worst);
+      h.(worst) <- tmp;
+      sift_down h size worst
+    end
+  end
+
+let insert t ~score ~id payload =
+  let n = { score; id; payload } in
+  if t.filled < t.capacity then begin
+    if Array.length t.heap = 0 then t.heap <- Array.make t.capacity n;
+    t.heap.(t.filled) <- n;
+    t.filled <- t.filled + 1;
+    sift_up t.heap (t.filled - 1);
+    true
+  end
+  else if worse t.heap.(0) n then begin
+    t.heap.(0) <- n;
+    sift_down t.heap t.filled 0;
+    true
+  end
+  else false
+
+(* Best-first: score descending, ties by id ascending. *)
+let to_sorted_list t =
+  let kept = Array.sub t.heap 0 t.filled in
+  Array.sort (fun a b -> if worse a b then 1 else if worse b a then -1 else 0) kept;
+  Array.fold_right (fun n acc -> (n.score, n.id, n.payload) :: acc) kept []

@@ -1,0 +1,41 @@
+(** Fixed-capacity top-k selection with deterministic tie-breaking.
+
+    A size-k binary min-heap over [(score, id)] pairs carrying an
+    arbitrary payload.  The order is total: a candidate beats a kept
+    entry when its score is strictly higher, or the scores tie and its
+    id is strictly smaller — so for XML search, ties between equal-score
+    fragments resolve to Dewey document order (smaller LCA preorder id
+    first).  The root of the heap is the worst kept entry; on a full
+    heap its score is the admission threshold the early-termination
+    bound is compared against. *)
+
+type 'a node = { score : float; id : int; payload : 'a }
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Empty heap keeping at most [capacity] entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_full : 'a t -> bool
+
+val min : 'a t -> 'a node option
+(** The worst kept entry (the admission threshold), if any. *)
+
+val min_score : 'a t -> float
+(** Score of {!min}; [neg_infinity] when empty — so it is always a
+    valid lower bound on admission. *)
+
+val admits : 'a t -> score:float -> id:int -> bool
+(** Would [insert] keep this candidate?  True when the heap is not yet
+    full, the score strictly beats the root's, or the scores tie and
+    [id] is smaller than the root's. *)
+
+val insert : 'a t -> score:float -> id:int -> 'a -> bool
+(** Add a candidate, evicting the current worst entry when full and
+    beaten.  Returns whether the candidate was kept. *)
+
+val to_sorted_list : 'a t -> (float * int * 'a) list
+(** Kept entries best-first: score descending, ties by id ascending. *)

@@ -29,6 +29,7 @@ let () =
       ("datagen", Test_datagen.tests);
       ("engine", Test_engine.tests);
       ("ranking", Test_ranking.tests);
+      ("rank", Test_rank.tests);
       ("extensions", Test_extensions.tests);
       ("check", Test_check.tests);
       ("exec", Test_exec.tests);

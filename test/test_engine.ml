@@ -42,7 +42,7 @@ let test_algorithms_differ_when_expected () =
 
 let test_slca_flag () =
   let engine = Engine.of_string "<r><art><n>w1</n><t>w2</t><ref>w1 w2</ref></art></r>" in
-  let hits = Engine.search ~rank:false engine [ "w1"; "w2" ] in
+  let hits = Engine.search ~rank:`Doc engine [ "w1"; "w2" ] in
   match hits with
   | [ outer; inner ] ->
       Alcotest.(check bool) "outer LCA is not an SLCA" false outer.Engine.is_slca;

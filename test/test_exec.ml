@@ -239,6 +239,49 @@ let test_key_stale_invalidation () =
   Alcotest.(check bool) "new engine misses" true
     (Cache.find cache (mk_key e2 [ "xml" ]) = None)
 
+let test_key_rank_params () =
+  (* Rank mode and top-k limit are part of the key: ranked and
+     truncated runs of the same keywords never collide. *)
+  let engine = mk_engine () in
+  let key ?rank ?k words =
+    match
+      Cache.key ~engine ~algorithm:Engine.Validrtf ?rank ?k
+        ~budget_class:Cache.unbudgeted words
+    with
+    | Some key -> key
+    | None -> Alcotest.fail "expected a cache key"
+  in
+  let plain = key [ "xml" ] in
+  let ranked = key ~rank:`Bm25 [ "xml" ] in
+  let truncated = key ~rank:`Bm25 ~k:10 [ "xml" ] in
+  Alcotest.(check bool) "rank mode distinguishes keys" false (plain = ranked);
+  Alcotest.(check bool) "k distinguishes keys" false (ranked = truncated);
+  Alcotest.(check bool) "explicit default rank collides with implicit" true
+    (plain = key ~rank:`Heuristic [ "xml" ]);
+  (* Alternating ranked and unranked batches for the same keywords
+     through one cache: each mode must hit its own entry, never a
+     stale answer cached under the other mode. *)
+  let cache = Cache.create ~max_bytes:(1024 * 1024) () in
+  let q = [ "xml" ] in
+  let expect_plain = (Engine.search_result engine q).Engine.hits in
+  let expect_top1 =
+    (Engine.search_result ~rank:`Bm25 ~k:1 engine q).Engine.hits
+  in
+  Alcotest.(check bool) "top-1 differs from the unranked answer" false
+    (expect_plain = expect_top1);
+  for _round = 1 to 3 do
+    (match Exec.search_batch ~cache engine [ q ] with
+    | [| hits |] ->
+        Alcotest.(check bool) "unranked round served unranked" true
+          (hits = expect_plain)
+    | _ -> Alcotest.fail "one result expected");
+    match Exec.search_batch ~cache ~rank:`Bm25 ~k:1 engine [ q ] with
+    | [| hits |] ->
+        Alcotest.(check bool) "ranked round served top-1" true
+          (hits = expect_top1)
+    | _ -> Alcotest.fail "one result expected"
+  done
+
 let test_cache_hit_miss_counters () =
   let engine = mk_engine () in
   let cache = Cache.create ~max_bytes:(1024 * 1024) () in
@@ -592,6 +635,8 @@ let tests =
     Alcotest.test_case "cache key normalisation" `Quick test_key_normalisation;
     Alcotest.test_case "cache stale invalidation across engines" `Quick
       test_key_stale_invalidation;
+    Alcotest.test_case "cache key carries rank mode and k" `Quick
+      test_key_rank_params;
     Alcotest.test_case "cache hit/miss counters" `Quick
       test_cache_hit_miss_counters;
     Alcotest.test_case "cache LRU eviction order" `Quick

@@ -19,6 +19,7 @@ module Inverted = Xks_index.Inverted
 module Fixtures = Xks_datagen.Paper_fixtures
 module Invariant = Xks_check.Invariant
 module Oracle = Xks_check.Oracle
+module Topk = Xks_check.Topk
 module Race = Xks_check.Race
 module Engine = Xks_core.Engine
 module Exec = Xks_exec.Exec
@@ -141,12 +142,28 @@ let run_standard ~seed =
     !bad
     + check_determinism "team" (Inverted.build (Fixtures.team ())) paper_queries;
   bad := !bad + check_determinism "dblp-gen" idx workload;
+  (* Ranked top-k must equal the k-prefix of full-enumeration-then-sort
+     on every query — sequentially, cold/warm through the cache, and
+     from a pool (Xks_check.Topk). *)
+  bad :=
+    !bad
+    + report "publications"
+        (Topk.check_workload
+           (Engine.of_index (Inverted.build (Fixtures.publications ())))
+           paper_queries);
+  bad :=
+    !bad
+    + report "team"
+        (Topk.check_workload
+           (Engine.of_index (Inverted.build (Fixtures.team ())))
+           paper_queries);
+  bad := !bad + report "dblp-gen" (Topk.check_workload (Engine.of_index idx) workload);
   let audited = (2 * List.length paper_queries) + List.length workload in
   if !bad = 0 then
     Printf.printf
       "check: ok — %d queries audited (invariants, ELCA/SLCA differential, \
-       Definition 4 post-conditions, jobs=%d batch determinism, \
-       workload seed=%d)\n"
+       Definition 4 post-conditions, jobs=%d batch determinism, top-k \
+       prefix equivalence, workload seed=%d)\n"
       audited determinism_jobs seed
   else begin
     Printf.eprintf
