@@ -74,11 +74,13 @@ let truncate k l =
 let bm25_scored (result : Pipeline.result) =
   let w = Rank.weights result.query in
   let scored =
+    (* xkscost: unticked pre-charged: scores the already-budgeted pipeline result; tf reads were charged by get_rtfs *)
     List.map2
       (fun rtf fragment ->
         { Ranking.fragment; rtf; score = Rank.score_rtf w result.query rtf })
       result.rtfs result.fragments
   in
+  (* xkscost: unticked pre-charged: sorts the already-materialised scored list, |rtfs| bounded by the ticked LCA sweep *)
   List.sort
     (fun (a : Ranking.scored) b ->
       let c = Float.compare b.score a.score in

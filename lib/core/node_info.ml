@@ -26,6 +26,7 @@ let construct ?(cid_mode = Cid.Approx) (q : Query.t) (rtf : Rtf.t) =
   in
   (* Get-or-create the info of an RTF member, linking it under its parent
      (which is created on the way to the root). *)
+  (* xkscost: unticked pre-charged: prune_all ticks 1+|knodes| per RTF before construct; each path node is created once *)
   let rec obtain id =
     match Hashtbl.find_opt by_id id with
     | Some info -> info
@@ -41,6 +42,7 @@ let construct ?(cid_mode = Cid.Approx) (q : Query.t) (rtf : Rtf.t) =
   let transfer id klist cid =
     (* Push a keyword node's information to itself and every ancestor up
        to the RTF root (constructing step, lines 5-12). *)
+    (* xkscost: unticked pre-charged: one klist/cid push per path node, under prune_all's per-RTF charge *)
     let rec up id =
       let info = obtain id in
       info.klist <- Klist.union info.klist klist;
@@ -59,6 +61,7 @@ let construct ?(cid_mode = Cid.Approx) (q : Query.t) (rtf : Rtf.t) =
     | Cid.Approx | Cid.Exact ->
         Cid.of_words cid_mode (Tree.content_words doc (Tree.node doc kn))
   in
+  (* xkscost: unticked pre-charged: prune_all ticked one per knode transferred here *)
   Array.iter
     (fun kn ->
       let klist = Query.node_klist q kn in
@@ -67,9 +70,11 @@ let construct ?(cid_mode = Cid.Approx) (q : Query.t) (rtf : Rtf.t) =
   let root_info = obtain rtf.lca in
   (* Children were prepended as discovered; keyword nodes arrive in
      document order but path sharing can disorder siblings, so sort. *)
+  (* xkscost: unticked pre-charged: one sibling sort per RTF member, under prune_all's per-RTF charge *)
   Hashtbl.iter
     (fun _ info ->
       info.rtf_children <-
+        (* xkscost: unticked pre-charged: sorts each member's sibling list once; total work is |members| log *)
         List.sort (fun a b -> Int.compare a.id b.id) info.rtf_children)
     by_id;
   { root_info; by_id }
@@ -86,6 +91,7 @@ type label_group = {
 let label_groups info =
   let order = ref [] in
   let groups = Hashtbl.create 8 in
+  (* xkscost: unticked pre-charged: one grouping pass over a node's RTF children, inside the pruning walk prune_all charged for *)
   List.iter
     (fun (child : info) ->
       match Hashtbl.find_opt groups child.label with

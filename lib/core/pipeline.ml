@@ -21,9 +21,10 @@ let get_lcas ?budget lca (q : Query.t) =
         Budget.tick_opt budget (List.length lcas);
         lcas
     | Slca_only ->
-        let lcas = Xks_lca.Slca.indexed_lookup_eager q.doc q.postings in
-        Budget.tick_opt budget (List.length lcas);
-        lcas
+        (* Ticked per occurrence of the rarest keyword inside the sweep —
+           strictly finer than the old per-result charge, and a deadline
+           now interrupts the sweep itself. *)
+        Xks_lca.Slca.indexed_lookup_eager ?budget q.doc q.postings
 
 (* Prune every RTF, optionally striping the work over several domains;
    pruning touches only immutable query state and RTF-local tables, so

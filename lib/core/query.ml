@@ -13,6 +13,7 @@ type t = {
 (* Per-keyword document frequency is just the posting length — [make]
    already fetched the lists to order keywords rarest-first, so the
    ranking layer must never re-fetch them from the index. *)
+(* xkscost: unticked k-bounded: one length read per keyword list *)
 let dfs_of postings = Array.map Array.length postings
 
 let make ?(order = `Given) idx ws =
@@ -47,6 +48,7 @@ let make ?(order = `Given) idx ws =
            selective probes first.  The keyword {e set} is unchanged —
            every LCA semantics is order-invariant. *)
         let order = Array.init (Array.length keywords) Fun.id in
+        (* xkscost: unticked k-bounded: sorts the k-entry permutation, comparing posting lengths only *)
         Array.sort
           (fun i j ->
             let c =
@@ -56,6 +58,7 @@ let make ?(order = `Given) idx ws =
             if c <> 0 then c else Int.compare i j)
           order;
         ( Array.map (fun i -> keywords.(i)) order,
+          (* xkscost: unticked k-bounded: permutes the k posting-list pointers, not their contents *)
           Array.map (fun i -> postings.(i)) order )
   in
   {
@@ -102,6 +105,7 @@ let of_postings ?(approx_cids = [||]) doc ~keywords postings =
 
 let k q = Array.length q.keywords
 let df q i = q.dfs.(i)
+(* xkscost: unticked k-bounded: one emptiness test per keyword list *)
 let has_results q = Array.for_all (fun s -> Array.length s > 0) q.postings
 
 let keyword_index q w =
@@ -116,6 +120,7 @@ let keyword_index q w =
 let node_klist q id =
   let k = k q in
   let mask = ref Klist.empty in
+  (* xkscost: unticked k-bounded: one binary search per keyword list; callers tick per node looked up *)
   Array.iteri
     (fun i posting ->
       if Xks_util.Bsearch.mem posting id then

@@ -60,8 +60,10 @@ let score_tf w tf =
    each query keyword (a node holding two keywords counts toward both).
    Reads only the query's own postings — the index is never consulted. *)
 let tf_of_rtf (q : Query.t) (rtf : Rtf.t) =
+  (* xkscost: unticked pre-charged: scores RTFs the pipeline already materialised — get_rtfs ticked once per keyword node counted here *)
   Array.map
     (fun posting ->
+      (* xkscost: unticked pre-charged: same knode sweep as the outer map, one binary search per dispatched node *)
       Array.fold_left
         (fun acc kn -> if Xks_util.Bsearch.mem posting kn then acc + 1 else acc)
         0 rtf.knodes)

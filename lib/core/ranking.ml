@@ -7,6 +7,7 @@ let score (q : Query.t) (rtf : Rtf.t) frag =
   let root = Tree.node q.doc rtf.lca in
   let depth = float_of_int (Dewey.depth root.dewey) in
   let knode_count =
+    (* xkscost: unticked pre-charged: scores RTFs the pipeline already materialised — get_rtfs ticked once per keyword node counted here *)
     Array.fold_left
       (fun acc kn -> if Fragment.mem frag kn then acc + 1 else acc)
       0 rtf.knodes
@@ -25,6 +26,7 @@ let sort_scored scored =
     scored
 
 let rank_by scorer (result : Pipeline.result) =
+  (* xkscost: unticked pre-charged: one scoring pass over the already-budgeted pipeline result, |rtfs| bounded by the ticked LCA sweep *)
   List.map2
     (fun rtf fragment ->
       { fragment; rtf; score = scorer result.query rtf fragment })

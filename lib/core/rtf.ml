@@ -8,7 +8,7 @@ type t = { lca : int; knodes : int array }
    [List.sort_uniq] version allocated a list cell per occurrence on
    every query, which is minor-GC pressure the multicore batch path
    cannot afford (each minor collection stops all domains). *)
-let keyword_node_ids (q : Query.t) =
+let keyword_node_ids ?budget (q : Query.t) =
   let postings = q.postings in
   let k = Array.length postings in
   let heads = Array.make (max 1 k) 0 in
@@ -16,7 +16,11 @@ let keyword_node_ids (q : Query.t) =
       let exhausted = ref false in
       let last = ref min_int in
       while not !exhausted do
+        (* One merge step per posting occurrence: ticked so a deadline
+           interrupts the union itself, not just the later dispatch. *)
+        Xks_robust.Budget.tick_opt budget 1;
         let best = ref (-1) in
+        (* xkscost: unticked k-bounded: one head comparison per keyword list *)
         for i = 0 to k - 1 do
           if heads.(i) < Array.length postings.(i) then
             let v = postings.(i).(heads.(i)) in
@@ -36,8 +40,7 @@ let keyword_node_ids (q : Query.t) =
 
 let get_rtfs ?budget (q : Query.t) lcas =
   let doc = q.doc in
-  let knodes = keyword_node_ids q in
-  Xks_robust.Budget.tick_opt budget (Array.length knodes);
+  let knodes = keyword_node_ids ?budget q in
   let buckets = List.map (fun a -> (a, Xks_util.Int_vec.create ())) lcas in
   (* Sweep keyword nodes in document order, keeping a stack of the LCA
      intervals that contain the current position; the top of the stack is
@@ -45,7 +48,9 @@ let get_rtfs ?budget (q : Query.t) lcas =
   let stack = ref [] in
   let remaining = ref buckets in
   let dispatch id =
+    Xks_robust.Budget.tick_opt budget 1;
     (* Open the LCA intervals starting at or before [id]. *)
+    (* xkscost: unticked amortised: each LCA interval is opened exactly once across the sweep; dispatch ticks per keyword node *)
     let rec open_intervals () =
       match !remaining with
       | ((a, _) as entry) :: rest when a <= id ->
@@ -56,6 +61,7 @@ let get_rtfs ?budget (q : Query.t) lcas =
     in
     open_intervals ();
     (* Close the intervals that ended before [id]. *)
+    (* xkscost: unticked amortised: each open interval is closed exactly once across the sweep; dispatch ticks per keyword node *)
     let rec close_intervals () =
       match !stack with
       | (a, _) :: rest when (Tree.node doc a).subtree_end < id ->

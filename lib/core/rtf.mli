@@ -25,5 +25,8 @@ val raw_fragment : Query.t -> t -> Fragment.t
 (** The unpruned RTF: keyword nodes plus connecting paths up to the
     LCA. *)
 
-val keyword_node_ids : Query.t -> int array
-(** All keyword nodes of the query (union of posting lists), sorted. *)
+val keyword_node_ids : ?budget:Xks_robust.Budget.t -> Query.t -> int array
+(** All keyword nodes of the query (union of posting lists), sorted.
+    [budget] is ticked once per posting occurrence merged, so a deadline
+    interrupts the union itself.
+    @raise Xks_robust.Budget.Exhausted when the budget runs out. *)

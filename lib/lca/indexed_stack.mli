@@ -18,6 +18,7 @@
     Results are returned in document order. *)
 
 val is_elca :
+  ?budget:Xks_robust.Budget.t ->
   Xks_xml.Tree.t ->
   int array array -> Xks_xml.Tree.node -> (int * int) list -> bool
 (** [is_elca doc postings u child_ranges] is the pop-time witness check:
@@ -25,13 +26,17 @@ val is_elca :
     every full container strictly below [u]?  [child_ranges] are the
     preorder ranges of [u]'s already-determined candidate children
     (most recent first) — they only accelerate the probe scan; passing
-    [[]] is correct but slower.  Shared with {!Topk}, whose streaming
-    driver must agree with {!elca} exactly. *)
+    [[]] is correct but slower.  [budget] is ticked once per witness
+    probe, so a deadline interrupts even a root-sized scan.  Shared
+    with {!Topk}, whose streaming driver must agree with {!elca}
+    exactly. *)
 
 val elca :
   ?budget:Xks_robust.Budget.t -> Xks_xml.Tree.t -> int array array -> int list
 (** Ids of all ELCA nodes for the query whose posting lists are given,
     in document order.  Empty when some keyword has no occurrence or the
     query is empty.  [budget] is ticked once per occurrence of the
-    rarest keyword (the algorithm's outer loop).
+    rarest keyword (the algorithm's outer loop), once per pop (so the
+    post-driver drain of the open stack is interruptible) and once per
+    witness probe (via {!is_elca}).
     @raise Xks_robust.Budget.Exhausted when the budget runs out. *)

@@ -26,6 +26,7 @@ let closest_lca_depth doc posting (x : Tree.node) =
     | Some l, Some r -> Some (max (depth_with l) (depth_with r))
 
 let fc doc postings (x : Tree.node) =
+  (* xkscost: unticked k-bounded: two binary-search probes per keyword list; every caller ticks per candidate before probing *)
   let rec loop i depth =
     if i = Array.length postings then Some depth
     else
@@ -40,6 +41,7 @@ let fc doc postings (x : Tree.node) =
 let smallest_list_index postings =
   if Array.length postings = 0 then invalid_arg "Probe.smallest_list_index";
   let best = ref 0 in
+  (* xkscost: unticked k-bounded: one length read per keyword list *)
   for i = 1 to Array.length postings - 1 do
     if Array.length postings.(i) < Array.length postings.(!best) then best := i
   done;

@@ -3,6 +3,7 @@ module Dewey = Xks_xml.Dewey
 
 let slca doc postings =
   let k = Array.length postings in
+  (* xkscost: unticked k-bounded: one emptiness test per keyword list *)
   if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then []
   else begin
     let anchor = Probe.smallest_list_index postings in
@@ -14,6 +15,7 @@ let slca doc postings =
       let s = postings.(i) in
       let n = Array.length s in
       let vid = (v_node : Tree.node).id in
+      (* xkscost: unticked baseline: SLCA cross-check for tests/stress; cursors only move forward, amortised one step per occurrence *)
       while cursors.(i) < n && s.(cursors.(i)) < vid do
         cursors.(i) <- cursors.(i) + 1
       done;
@@ -32,12 +34,14 @@ let slca doc postings =
     let candidate v =
       let v_node = Tree.node doc v in
       let depth = ref (Dewey.depth v_node.dewey) in
+      (* xkscost: unticked k-bounded: one cursor probe per keyword list *)
       for i = 0 to k - 1 do
         if i <> anchor then depth := min !depth (closest_depth i v_node)
       done;
       (Probe.ancestor_at doc v_node !depth).id
     in
     let cands =
+      (* xkscost: unticked baseline: SLCA cross-check for tests/stress; serving uses Slca.indexed_lookup_eager, which ticks per driver occurrence *)
       Array.to_list (Array.map candidate s1) |> List.sort_uniq Int.compare
     in
     Slca.filter_minimal doc cands

@@ -10,8 +10,9 @@ let rec filter_minimal doc = function
       if y <= (Tree.node doc x).subtree_end then filter_minimal doc rest
       else x :: filter_minimal doc rest
 
-let indexed_lookup_eager doc postings =
+let indexed_lookup_eager ?budget doc postings =
   let k = Array.length postings in
+  (* xkscost: unticked k-bounded: one emptiness test per keyword list *)
   if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then []
   else begin
     let s1 = postings.(Probe.smallest_list_index postings) in
@@ -20,6 +21,7 @@ let indexed_lookup_eager doc postings =
        empty. *)
     let candidate v =
       Xks_trace.Trace.incr Xks_trace.Trace.Nodes_visited;
+      Xks_robust.Budget.tick_opt budget 1;
       match Probe.fc doc postings (Tree.node doc v) with
       | Some n -> n.id
       | None -> assert false

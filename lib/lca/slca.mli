@@ -10,9 +10,13 @@
     This powers the {e original} MaxMatch baseline, which works on SLCA
     fragments only. *)
 
-val indexed_lookup_eager : Xks_xml.Tree.t -> int array array -> int list
+val indexed_lookup_eager :
+  ?budget:Xks_robust.Budget.t -> Xks_xml.Tree.t -> int array array -> int list
 (** Ids of all SLCA nodes, in document order.  Empty when some keyword has
-    no occurrence (or the query is empty). *)
+    no occurrence (or the query is empty).  [budget] is ticked once per
+    occurrence of the rarest keyword, so a request deadline interrupts
+    the candidate sweep.
+    @raise Xks_robust.Budget.Exhausted when the budget runs out. *)
 
 val filter_minimal : Xks_xml.Tree.t -> int list -> int list
 (** [filter_minimal doc ids] keeps the ids with no other id strictly

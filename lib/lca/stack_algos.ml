@@ -7,9 +7,11 @@ module Klist = Xks_index.Klist
 let merged_stream postings =
   let k = Array.length postings in
   let masks = Hashtbl.create 256 in
+  (* xkscost: unticked baseline: ELCA/SLCA cross-check for tests/stress/bench; serving uses Indexed_stack.elca, which ticks per node *)
   Array.iteri
     (fun i s ->
       let bit = Klist.singleton ~k i in
+      (* xkscost: unticked baseline: same posting sweep, inner loop *)
       Array.iter
         (fun id ->
           let m =
@@ -20,6 +22,7 @@ let merged_stream postings =
           Hashtbl.replace masks id (Klist.union m bit))
         s)
     postings;
+  (* xkscost: allow hashtbl-fold runs once to materialise the stream — the iterator argument is evaluated before any loop starts *)
   Hashtbl.fold (fun id m acc -> (id, m) :: acc) masks []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
@@ -49,6 +52,7 @@ let stack_top path ~at =
    [on_pop] sees each finalised entry together with its parent. *)
 let scan doc postings ~on_pop =
   let k = Array.length postings in
+  (* xkscost: unticked k-bounded: one emptiness test per keyword list *)
   if k = 0 || Array.exists (fun s -> Array.length s = 0) postings then ()
   else begin
     let root_entry =
@@ -74,6 +78,7 @@ let scan doc postings ~on_pop =
     let push_to dewey =
       (* Extend the path with the components of [dewey] beyond the
          current depth (callers ensure the stack is a prefix). *)
+      (* xkscost: unticked baseline: each path entry is pushed once per stream step; serving uses Indexed_stack.elca, which ticks per node *)
       for d = depth () to Dewey.depth dewey - 1 do
         let parent = stack_top !path ~at:dewey in
         let comp = Dewey.component dewey d in
@@ -92,6 +97,7 @@ let scan doc postings ~on_pop =
           (Tree.node doc (stack_top !path ~at:dewey).node_id).dewey
           dewey
       in
+      (* xkscost: unticked baseline: each path entry pops once, amortised by the pushes above *)
       while depth () > common do
         pop ()
       done;
@@ -100,7 +106,9 @@ let scan doc postings ~on_pop =
       top.total <- Klist.union top.total mask;
       top.free <- Klist.union top.free mask
     in
+    (* xkscost: unticked baseline: one visit per distinct keyword node; cross-check only, off the serving path *)
     List.iter visit (merged_stream postings);
+    (* xkscost: unticked baseline: drains the remaining path spine, at most one pop per pushed entry *)
     while !path <> [] do
       pop ()
     done

@@ -68,6 +68,7 @@ type entry = {
 let run ?budget ~k ~score ~bound doc postings =
   if k < 1 then invalid_arg "Topk.run: k must be >= 1";
   let nk = Array.length postings in
+  (* xkscost: unticked k-bounded: one emptiness test per keyword list *)
   if nk = 0 || Array.exists (fun s -> Array.length s = 0) postings then
     { top = []; early_exit = false; scanned = 0 }
   else begin
@@ -93,6 +94,7 @@ let run ?budget ~k ~score ~bound doc postings =
        prefix take — amortised O(1) per push, where a predicate
        partition over the whole list is quadratic across the scan. *)
     let split_inside cutoff ranges =
+      (* xkscost: unticked amortised prefix take: each range is claimed at most once per handoff, and every handoff happens under a ticked pop/push *)
       let rec go acc = function
         | ((lo, _) as r) :: rest when lo >= cutoff -> go (r :: acc) rest
         | rest -> (List.rev acc, rest)
@@ -104,7 +106,11 @@ let run ?budget ~k ~score ~bound doc postings =
     in
     let count_dispatched posting (u : Tree.node) passed =
       List.fold_left
-        (fun acc (lo, hi) -> acc - Bsearch.count_in_range posting ~lo ~hi)
+        (fun acc (lo, hi) ->
+          (* One binary search per passed range: ticked so an emit over a
+             long accounting list is interruptible. *)
+          Xks_robust.Budget.tick_opt budget 1;
+          acc - Bsearch.count_in_range posting ~lo ~hi)
         (Bsearch.count_in_range posting ~lo:u.id ~hi:u.subtree_end)
         passed
     in
@@ -121,10 +127,13 @@ let run ?budget ~k ~score ~bound doc postings =
       | [] -> assert false
       | e :: rest ->
           Trace.incr Trace.Elca_popped;
+          (* Ticked so the post-driver drain (and the unwind spine) stays
+             under the deadline even when no new occurrence arrives. *)
+          Xks_robust.Budget.tick_opt budget 1;
           stack := rest;
           let range = (e.node.id, e.node.subtree_end) in
           let passed_up =
-            if Indexed_stack.is_elca doc postings e.node e.child_ranges
+            if Indexed_stack.is_elca ?budget doc postings e.node e.child_ranges
             then begin
               emit e.node e.passed;
               [ range ]
@@ -134,7 +143,9 @@ let run ?budget ~k ~score ~bound doc postings =
           (match rest with
           | parent :: _ ->
               parent.child_ranges <- range :: parent.child_ranges;
+              (* xkscost: allow list-append passed_up is [range] or the popped entry's own ranges, handed up exactly once — amortised O(1) per pop *)
               parent.passed <- passed_up @ parent.passed
+          (* xkscost: allow list-append same single handoff as above, to the orphan pool *)
           | [] -> orphans := passed_up @ !orphans);
           range
     in
@@ -165,7 +176,7 @@ let run ?budget ~k ~score ~bound doc postings =
              is the first open entry to contain them (any lower entry
              pushed since they were orphaned would have absorbed them
              already, and entries below [x] are its ancestors). *)
-          let inside, outside = split_inside x.id !orphans in
+          let absorbed, outside = split_inside x.id !orphans in
           orphans := outside;
           (* Steal from the nearest open ancestor the emitted ranges
              [x] contains: they popped before [x] opened, so they were
@@ -180,8 +191,9 @@ let run ?budget ~k ~score ~bound doc postings =
             | parent :: _ ->
                 let mine, theirs = split_inside x.id parent.passed in
                 parent.passed <- theirs;
-                mine @ inside
-            | [] -> inside
+                (* xkscost: allow list-append mine and absorbed are both prefix takes claimed exactly once per range *)
+                mine @ absorbed
+            | [] -> absorbed
           in
           stack := { node = x; child_ranges = !pending; passed = inside } :: !stack
     in
@@ -191,12 +203,14 @@ let run ?budget ~k ~score ~bound doc postings =
     let try_exit () =
       if Topheap.is_full heap then begin
         let avail =
+          (* xkscost: unticked k-bounded: one length/counter read per keyword *)
           Array.mapi (fun j p -> Array.length p - consumed.(j)) postings
         in
         if bound ~avail < Topheap.min_score heap then begin
           early := true;
           Trace.incr Trace.Topk_early_exit;
           Trace.add Trace.Topk_pruned_postings
+            (* xkscost: unticked k-bounded: sums the k per-keyword avail counters *)
             (Array.fold_left ( + ) 0 avail)
         end
       end
@@ -229,7 +243,11 @@ let run ?budget ~k ~score ~bound doc postings =
               let hi = Bsearch.upper_bound posting u.subtree_end in
               let remaining = ref passed in
               for j = lo to hi - 1 do
+                (* One posting entry per iteration: ticked so
+                   materialising a huge winner subtree is interruptible. *)
+                Xks_robust.Budget.tick_opt budget 1;
                 let id = posting.(j) in
+                (* xkscost: unticked monotone prefix skip over the sorted passed ranges; the enclosing for loop ticks per posting entry *)
                 let rec advance = function
                   | (_, b) :: rest when b < id -> advance rest
                   | l -> l

@@ -170,6 +170,89 @@ let test_failpoint_skip () =
           Alcotest.(check string) "third fires" "" (read ())));
   Failpoint.clear_all ()
 
+(* --- Budget coverage of the hot traversal loops ---
+
+   Each of these loops once ran unticked (xkscost's unticked-loop rule
+   flagged them): a request deadline could not interrupt the traversal
+   itself, only the work before or after it.  The tests pin the ticks
+   by exhausting a budget sized to run out inside the loop. *)
+
+let doc_and_postings xml query =
+  let doc = Xks_xml.Parser.parse_string xml in
+  (doc, Helpers.postings_for doc query)
+
+let wide_xml n =
+  "<r>" ^ String.concat "" (List.init n (fun _ -> "<a>w1 w2</a>")) ^ "</r>"
+
+let test_budget_interrupts_rtf_merge () =
+  (* keyword_node_ids ticks once per posting occurrence merged *)
+  let doc, ps = doc_and_postings (wide_xml 32) [ "w1"; "w2" ] in
+  let q = Xks_core.Query.of_postings doc ~keywords:[ "w1"; "w2" ] ps in
+  let b = Budget.create ~max_nodes:10 () in
+  match Xks_core.Rtf.keyword_node_ids ~budget:b q with
+  | exception Budget.Exhausted Budget.Node_budget -> ()
+  | _ -> Alcotest.fail "posting-merge loop ran past the node budget"
+
+let test_budget_interrupts_slca_sweep () =
+  (* indexed_lookup_eager ticks once per rarest-keyword occurrence *)
+  let doc, ps = doc_and_postings (wide_xml 32) [ "w1"; "w2" ] in
+  let b = Budget.create ~max_nodes:10 () in
+  match Xks_lca.Slca.indexed_lookup_eager ~budget:b doc ps with
+  | exception Budget.Exhausted Budget.Node_budget -> ()
+  | _ -> Alcotest.fail "SLCA candidate sweep ran past the node budget"
+
+let test_budget_interrupts_elca_witness () =
+  (* is_elca ticks once per witness probe, even with no child ranges *)
+  let doc, ps = doc_and_postings (wide_xml 4) [ "w1"; "w2" ] in
+  let b = Budget.create ~max_nodes:0 () in
+  match
+    Xks_lca.Indexed_stack.is_elca ~budget:b doc ps (Xks_xml.Tree.node doc 0) []
+  with
+  | exception Budget.Exhausted Budget.Node_budget -> ()
+  | _ -> Alcotest.fail "witness probe ran past the node budget"
+
+(* A root-to-leaf chain where every node holds both keywords: the top-k
+   driver pushes one stack entry per occurrence and never unwinds, so
+   every pop — and the per-passed-range accounting it triggers in
+   [emit] — happens in the post-driver drain. *)
+let chain_doc_and_postings d =
+  let xml =
+    String.concat "" (List.init d (fun _ -> "<a>w1 w2"))
+    ^ String.concat "" (List.init d (fun _ -> "</a>"))
+  in
+  doc_and_postings xml [ "w1"; "w2" ]
+
+let run_topk ~budget ~k doc ps =
+  Xks_lca.Topk.run ~budget ~k
+    ~score:(fun ~lca:_ ~tf:_ -> 0.0)
+    ~bound:(fun ~avail:_ -> infinity)
+    doc ps
+
+let test_budget_interrupts_topk_drain () =
+  let d = 16 in
+  let doc, ps = chain_doc_and_postings d in
+  (* the drain performs ticks of its own, beyond the driver's one per
+     occurrence: pops, witness probes and passed-range transfers *)
+  let full = Budget.create () in
+  ignore (run_topk ~budget:full ~k:1 doc ps : Xks_lca.Topk.outcome);
+  Alcotest.(check bool) "drain work is ticked" true (Budget.visited full > d);
+  (* a budget that survives the driver exactly dies in the drain *)
+  let b = Budget.create ~max_nodes:d () in
+  match run_topk ~budget:b ~k:1 doc ps with
+  | exception Budget.Exhausted Budget.Node_budget -> ()
+  | _ -> Alcotest.fail "post-driver drain ran past the node budget"
+
+let test_deadline_interrupts_topk () =
+  (* fake clock advancing 10 ms per read, checked on every tick: the
+     deadline fires mid-scan no matter which loop is running *)
+  let doc, ps = chain_doc_and_postings 16 in
+  let reads = ref 0 in
+  let now () = incr reads; float_of_int !reads *. 0.01 in
+  let b = Budget.create ~now ~check_interval:1 ~deadline_ms:50 () in
+  match run_topk ~budget:b ~k:1 doc ps with
+  | exception Budget.Exhausted Budget.Deadline -> ()
+  | _ -> Alcotest.fail "deadline did not interrupt the top-k scan"
+
 (* --- The degradation ladder --- *)
 
 let skeleton hits =
@@ -258,6 +341,16 @@ let tests =
     Alcotest.test_case "failpoint passthrough" `Quick test_failpoint_passthrough;
     Alcotest.test_case "failpoint actions" `Quick test_failpoint_actions;
     Alcotest.test_case "failpoint skip" `Quick test_failpoint_skip;
+    Alcotest.test_case "budget interrupts the RTF posting merge" `Quick
+      test_budget_interrupts_rtf_merge;
+    Alcotest.test_case "budget interrupts the SLCA sweep" `Quick
+      test_budget_interrupts_slca_sweep;
+    Alcotest.test_case "budget interrupts the ELCA witness probe" `Quick
+      test_budget_interrupts_elca_witness;
+    Alcotest.test_case "budget interrupts the top-k drain" `Quick
+      test_budget_interrupts_topk_drain;
+    Alcotest.test_case "deadline interrupts the top-k scan" `Quick
+      test_deadline_interrupts_topk;
     Alcotest.test_case "tiny budget degrades to the SLCA answer" `Quick
       test_degrades_to_slca_answer;
     Alcotest.test_case "generous budget is full fidelity" `Quick

@@ -1,7 +1,9 @@
-(* The util substrate: growable int vectors and binary searches. *)
+(* The util substrate: growable int vectors, per-domain scratch
+   buffers, and binary searches. *)
 
 module Int_vec = Xks_util.Int_vec
 module Bsearch = Xks_util.Bsearch
+module Scratch = Xks_util.Scratch
 
 let test_int_vec_basics () =
   let v = Int_vec.create () in
@@ -36,6 +38,86 @@ let test_int_vec_to_array_iter () =
   let acc = ref [] in
   Int_vec.iter (fun x -> acc := x :: !acc) v;
   Alcotest.(check (list int)) "iter order" [ 5; 1; 4; 1; 3 ] !acc
+
+let test_int_vec_sort_uniq () =
+  let v = Int_vec.create () in
+  Int_vec.sort_uniq v;
+  Alcotest.(check int) "empty stays empty" 0 (Int_vec.length v);
+  List.iter (Int_vec.push v) [ 5; 3; 5; 1; 3; 5; 1; 1; 5 ];
+  Int_vec.sort_uniq v;
+  Alcotest.(check (list int)) "duplicate-heavy input" [ 1; 3; 5 ]
+    (Array.to_list (Int_vec.to_array v));
+  Int_vec.clear v;
+  List.iter (Int_vec.push v) [ 7; 7; 7; 7 ];
+  Int_vec.sort_uniq v;
+  Alcotest.(check (list int)) "all-equal input" [ 7 ]
+    (Array.to_list (Int_vec.to_array v))
+
+let prop_sort_uniq_matches_spec =
+  QCheck2.Test.make ~name:"Int_vec.sort_uniq = List.sort_uniq" ~count:500
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 10))
+    ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+    (fun l ->
+      let v = Int_vec.create () in
+      List.iter (Int_vec.push v) l;
+      Int_vec.sort_uniq v;
+      Array.to_list (Int_vec.to_array v) = List.sort_uniq Int.compare l)
+
+(* The tests below compare buffer identities across checkouts, so they
+   deliberately let buffers escape [with_ints] — fine here because only
+   physical equality is read, never the contents. *)
+
+let test_scratch_reuse () =
+  let first = Scratch.with_ints (fun v -> Int_vec.push v 1; v) in
+  Scratch.with_ints (fun v ->
+      Alcotest.(check bool) "same buffer checked out again" true (v == first);
+      Alcotest.(check int) "cleared on checkout" 0 (Int_vec.length v))
+
+let test_scratch_nesting_and_exceptions () =
+  (match
+     Scratch.with_ints (fun outer ->
+         Scratch.with_ints (fun inner ->
+             Alcotest.(check bool) "nested checkout is distinct" true
+               (not (outer == inner)));
+         raise Exit)
+   with
+  | exception Exit -> ()
+  | () -> Alcotest.fail "Exit swallowed");
+  (* both buffers went back to the free list despite the raise *)
+  let pair =
+    Scratch.with_ints (fun a -> Scratch.with_ints (fun b -> (a, b)))
+  in
+  Scratch.with_ints (fun a ->
+      Scratch.with_ints (fun b ->
+          Alcotest.(check bool) "free list survives the raise" true
+            (let p, q = pair in a == p && b == q)))
+
+let test_scratch_domain_isolation () =
+  let parent = Scratch.with_ints (fun v -> v) in
+  let results =
+    List.map Domain.join
+      (List.init 4 (fun _ ->
+           Domain.spawn (fun () ->
+               let mine = Scratch.with_ints (fun v -> v) in
+               let again = Scratch.with_ints (fun v -> v) in
+               (mine, mine == again))))
+  in
+  List.iter
+    (fun (mine, reused) ->
+      Alcotest.(check bool) "reused within its own domain" true reused;
+      Alcotest.(check bool) "never the parent's buffer" true
+        (not (mine == parent)))
+    results;
+  let rec pairwise = function
+    | [] -> ()
+    | (a, _) :: rest ->
+        List.iter
+          (fun (b, _) ->
+            Alcotest.(check bool) "distinct across domains" true (not (a == b)))
+          rest;
+        pairwise rest
+  in
+  pairwise results
 
 let test_bsearch_bounds () =
   let a = [| 1; 3; 3; 5; 9 |] in
@@ -101,6 +183,14 @@ let tests =
     Alcotest.test_case "int_vec basics" `Quick test_int_vec_basics;
     Alcotest.test_case "int_vec bounds" `Quick test_int_vec_bounds;
     Alcotest.test_case "int_vec to_array/iter" `Quick test_int_vec_to_array_iter;
+    Alcotest.test_case "int_vec sort_uniq edge cases" `Quick
+      test_int_vec_sort_uniq;
+    Helpers.qtest prop_sort_uniq_matches_spec;
+    Alcotest.test_case "scratch buffer reuse" `Quick test_scratch_reuse;
+    Alcotest.test_case "scratch nesting and exception safety" `Quick
+      test_scratch_nesting_and_exceptions;
+    Alcotest.test_case "scratch domain isolation" `Quick
+      test_scratch_domain_isolation;
     Alcotest.test_case "bsearch bounds" `Quick test_bsearch_bounds;
     Alcotest.test_case "bsearch matches" `Quick test_bsearch_matches;
     Alcotest.test_case "bsearch ranges" `Quick test_bsearch_ranges;

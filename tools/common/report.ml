@@ -80,23 +80,61 @@ let parse_implementation ~tool path src =
       Printf.eprintf "%s: %s: syntax error\n" tool path;
       exit 2
 
-(* --- command line: [--json] plus one or more directory roots --- *)
+(* --- command line: [--json] [--rules ID[,ID...]] plus directory roots --- *)
 
-let parse_argv ~tool argv =
+type options = {
+  json : bool;
+  rules : string list option;  (* None = all rules enabled *)
+  roots : string list;
+}
+
+let usage ~tool ~with_rules =
+  Printf.eprintf "usage: %s [--json]%s DIR...\n" tool
+    (if with_rules then " [--rules ID[,ID...]]" else "");
+  exit 2
+
+let parse_argv_opts ?known_rules ~tool argv =
   let json = ref false in
+  let rules = ref None in
   let roots = ref [] in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--json" -> json := true
-        | _ -> roots := arg :: !roots)
-    argv;
+  let n = Array.length argv in
+  let rec go i =
+    if i < n then
+      match argv.(i) with
+      | "--json" ->
+          json := true;
+          go (i + 1)
+      | "--rules" -> (
+          match known_rules with
+          | None ->
+              Printf.eprintf "%s: --rules is not supported by this tool\n" tool;
+              exit 2
+          | Some known ->
+              if i + 1 >= n then usage ~tool ~with_rules:true;
+              let ids =
+                String.split_on_char ',' argv.(i + 1)
+                |> List.map String.trim
+                |> List.filter (fun s -> s <> "")
+              in
+              if ids = [] then usage ~tool ~with_rules:true;
+              List.iter
+                (fun id ->
+                  if not (List.mem id known) then begin
+                    Printf.eprintf "%s: unknown rule id %S (known: %s)\n" tool
+                      id
+                      (String.concat ", " known);
+                    exit 2
+                  end)
+                ids;
+              rules := Some ids;
+              go (i + 2))
+      | arg ->
+          roots := arg :: !roots;
+          go (i + 1)
+  in
+  go 1;
   let roots = List.rev !roots in
-  if roots = [] then begin
-    Printf.eprintf "usage: %s [--json] DIR...\n" tool;
-    exit 2
-  end;
+  if roots = [] then usage ~tool ~with_rules:(known_rules <> None);
   List.iter
     (fun r ->
       if not (Sys.file_exists r) then begin
@@ -104,7 +142,15 @@ let parse_argv ~tool argv =
         exit 2
       end)
     roots;
-  (!json, roots)
+  { json = !json; rules = !rules; roots }
+
+let rule_enabled opts id =
+  match opts.rules with None -> true | Some ids -> List.mem id ids
+
+(* The historical two-value form, kept for tools without rule staging. *)
+let parse_argv ~tool argv =
+  let opts = parse_argv_opts ~tool argv in
+  (opts.json, opts.roots)
 
 (* --- output --- *)
 

@@ -39,9 +39,28 @@ val parse_implementation : tool:string -> string -> string -> Parsetree.structur
     compiler front end, locations anchored to [path].  Exits 2 with a
     diagnostic on [tool]'s behalf on a syntax error. *)
 
+type options = {
+  json : bool;  (** [--json] present *)
+  rules : string list option;  (** [--rules] filter; [None] = all rules *)
+  roots : string list;  (** directory roots to scan *)
+}
+
+val parse_argv_opts :
+  ?known_rules:string list -> tool:string -> string array -> options
+(** Parse [argv] into {!options}.  [--rules ID[,ID...]] is accepted only
+    when [known_rules] is given (so CI can stage rules in one id at a
+    time); an unknown id, an empty root list or a nonexistent root exits
+    2. *)
+
+val rule_enabled : options -> string -> bool
+(** Whether findings of rule [id] should be emitted under the parsed
+    [--rules] filter (always [true] without one). *)
+
 val parse_argv : tool:string -> string array -> bool * string list
-(** Parse [argv] into ([--json] present, directory roots).  Exits 2 on
-    an empty root list or a nonexistent root. *)
+(** Parse [argv] into ([--json] present, directory roots) — the
+    historical two-value form of {!parse_argv_opts} for tools without
+    rule staging.  Exits 2 on an empty root list or a nonexistent
+    root. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON literal. *)

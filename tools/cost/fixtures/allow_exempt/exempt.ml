@@ -1,0 +1,19 @@
+(* The same idioms as quadratic_accumulate/unticked_loop, with the two
+   escape hatches exercised: a per-line [allow <rule> <reason>] for a
+   complexity finding and an [unticked <reason>] for a budget-rule
+   finding.  Must pass clean. *)
+
+(* xkscost: hot *)
+let prepend_all groups =
+  List.fold_left
+    (fun acc g ->
+      (* xkscost: allow list-append groups has at most 4 elements by construction *)
+      acc @ g)
+    [] groups
+
+(* xkscost: hot *)
+let drain stack =
+  (* xkscost: unticked oracle-only path; the caller bounds the stack depth *)
+  while !stack <> [] do
+    match !stack with [] -> () | _ :: tl -> stack := tl
+  done

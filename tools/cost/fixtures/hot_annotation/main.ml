@@ -1,0 +1,5 @@
+(* The annotation below seeds the hot set; reachability carries it
+   across the module boundary into helper.ml. *)
+
+(* xkscost: hot *)
+let run stack = Helper.scan stack

@@ -1,0 +1,17 @@
+(* Linear probes inside hot loops: each List.mem/assoc/nth call scans
+   from the head, so the loop as a whole is quadratic; the Hashtbl.fold
+   walks the entire table once per processed item. *)
+
+(* xkscost: hot *)
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
+
+(* xkscost: hot *)
+let lookup_all keys table = List.map (fun k -> List.assoc k table) keys
+
+(* xkscost: hot *)
+let sample xs idxs = List.map (fun i -> List.nth xs i) idxs
+
+(* xkscost: hot *)
+let running_totals items counts =
+  List.map (fun item -> Hashtbl.fold (fun _ v acc -> acc + v) counts item) items

@@ -1,0 +1,16 @@
+(* Quadratic accumulation inside hot loops: every idiom here re-copies
+   an already-built structure per iteration.  Also carries the opt-in
+   tight-loop allocation checks. *)
+
+(* xkscost: hot *)
+let flatten_all groups = List.fold_left (fun acc g -> acc @ g) [] groups
+
+(* xkscost: hot *)
+let widen xs = List.fold_left (fun acc x -> List.concat [ acc; [ x ] ]) [] xs
+
+(* xkscost: hot *)
+let pair_up xs ys =
+  let out = ref [] in
+  (* xkscost: tight *)
+  List.iter (fun x -> List.iter (fun y -> out := (x, y) :: !out) ys) xs;
+  !out

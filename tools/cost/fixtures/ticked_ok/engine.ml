@@ -1,0 +1,15 @@
+(* A hot traversal that charges the budget on every element — directly
+   in the drain loop, and through the call graph ([scan] ticks, so the
+   Array.iter over postings that calls it is covered).  Must pass
+   clean; the module/binding name [Engine.search] is one of xkscost's
+   default hot roots, so no annotation is needed. *)
+
+let scan budget stack = Array.iter (fun node -> Budget.tick budget node) stack
+
+let search budget postings =
+  let stack = ref (Array.to_list postings) in
+  while !stack <> [] do
+    Budget.tick_opt budget 1;
+    match !stack with [] -> () | _ :: tl -> stack := tl
+  done;
+  Array.iter (fun frame -> scan budget frame) postings

@@ -1,0 +1,19 @@
+(* Hot traversals over index data with no reachable Budget charge: the
+   drain loop pops through a helper that never ticks, and the postings
+   sweep calls an opaque visitor.  Both must be flagged. *)
+
+let pop stack =
+  match !stack with
+  | [] -> None
+  | x :: tl ->
+      stack := tl;
+      Some x
+
+(* xkscost: hot *)
+let drain stack =
+  while !stack <> [] do
+    ignore (pop stack)
+  done
+
+(* xkscost: hot *)
+let visit_all postings visit = Array.iter (fun p -> visit p) postings
